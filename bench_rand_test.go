@@ -1,0 +1,6 @@
+package janus_test
+
+import "math/rand"
+
+// newRand returns a seeded RNG for benchmark-local randomness.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const tinyTopo = `{
+  "name": "tiny",
+  "nodes": [
+    {"id": 0, "name": "s1", "kind": 0},
+    {"id": 1, "name": "s2", "kind": 0},
+    {"id": 2, "name": "lb1", "kind": 1, "nf": "LB"}
+  ],
+  "links": [
+    {"from": 0, "to": 1, "capacityMbps": 100},
+    {"from": 1, "to": 0, "capacityMbps": 100},
+    {"from": 0, "to": 2, "capacityMbps": 1000},
+    {"from": 2, "to": 0, "capacityMbps": 1000},
+    {"from": 2, "to": 1, "capacityMbps": 1000},
+    {"from": 1, "to": 2, "capacityMbps": 1000}
+  ],
+  "endpoints": [
+    {"name": "m1", "attach": 0, "labels": ["Marketing"]},
+    {"name": "w1", "attach": 1, "labels": ["Web"]}
+  ]
+}`
+
+const tinyPolicy = `graph web-qos
+Marketing -> Web: match tcp/80; chain LB; minbw 20Mbps
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, out)
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunIntentPolicy(t *testing.T) {
+	topoPath := writeTemp(t, "t.json", tinyTopo)
+	polPath := writeTemp(t, "web.policy", tinyPolicy)
+	out, err := captureRun(t, []string{"-topo", topoPath, "-policies", polPath})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "composed 1 policies") {
+		t.Errorf("output missing composition summary:\n%s", out)
+	}
+	if !strings.Contains(out, "1/1 policies configured") {
+		t.Errorf("output missing configuration summary:\n%s", out)
+	}
+	if !strings.Contains(out, "m1->w1") {
+		t.Errorf("output missing assignment:\n%s", out)
+	}
+}
+
+func TestRunTemporalFlag(t *testing.T) {
+	topoPath := writeTemp(t, "t.json", tinyTopo)
+	polPath := writeTemp(t, "web.policy", "graph g\nMarketing -> Web: minbw 10Mbps; when time 9-18\nMarketing -> Web: minbw 5Mbps; when time 18-9\n")
+	out, err := captureRun(t, []string{"-topo", topoPath, "-policies", polPath, "-temporal"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "periods: [0 9 18]") {
+		t.Errorf("output missing period list:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	topoPath := writeTemp(t, "t.json", tinyTopo)
+	if _, err := captureRun(t, []string{}); err == nil {
+		t.Error("missing flags should error")
+	}
+	if _, err := captureRun(t, []string{"-topo", topoPath, "-policies", "/nope.policy"}); err == nil {
+		t.Error("missing policy file should error")
+	}
+	badPol := writeTemp(t, "bad.policy", "not a graph")
+	if _, err := captureRun(t, []string{"-topo", topoPath, "-policies", badPol}); err == nil {
+		t.Error("invalid policy file should error")
+	}
+	badTopo := writeTemp(t, "bad.json", "{")
+	polPath := writeTemp(t, "web.policy", tinyPolicy)
+	if _, err := captureRun(t, []string{"-topo", badTopo, "-policies", polPath}); err == nil {
+		t.Error("invalid topology should error")
+	}
+}

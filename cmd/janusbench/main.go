@@ -1,0 +1,62 @@
+// Command janusbench regenerates the tables and figures of the Janus
+// paper's evaluation (§7) and prints them as text tables.
+//
+// Usage:
+//
+//	janusbench                     # run every experiment at default scale
+//	janusbench -exp fig11          # one experiment
+//	janusbench -scale 2 -runs 3    # larger sweeps, averaged over 3 seeds
+//	janusbench -list               # list experiments
+//
+// See EXPERIMENTS.md for the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"janus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (empty = all)")
+	scale := flag.Float64("scale", 1, "size multiplier for policy counts")
+	runs := flag.Int("runs", 1, "seeds to average over (paper: 10)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	limit := flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	params := experiments.Params{Scale: *scale, Seed: *seed, Runs: *runs, TimeLimit: *limit}
+	todo := experiments.All
+	if *exp != "" {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "janusbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.Name, e.Description)
+		tables, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,57 @@
+// Command janusd runs the Janus controller as an HTTP service (the Fig 7
+// deployment: intents in from policy writers, dataplane state out to the
+// control platform).
+//
+// Usage:
+//
+//	janusd -topo topology.json [-addr :8080] [-paths 5] [-seed 1]
+//
+// Then, for example:
+//
+//	curl -X PUT  localhost:8080/graphs/web -H 'Content-Type: text/plain' \
+//	     --data-binary @web.policy
+//	curl -X POST localhost:8080/configure
+//	curl         localhost:8080/config
+//	curl -X POST localhost:8080/events/move \
+//	     -d '{"endpoint":"m1","to":3}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"janus/internal/core"
+	"janus/internal/server"
+	"janus/internal/topo"
+)
+
+func main() {
+	topoPath := flag.String("topo", "", "topology JSON file (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	paths := flag.Int("paths", 5, "candidate paths per endpoint pair")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *topoPath == "" {
+		fmt.Fprintln(os.Stderr, "janusd: -topo is required")
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(*topoPath)
+	if err != nil {
+		log.Fatalf("janusd: %v", err)
+	}
+	var t topo.Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		log.Fatalf("janusd: decoding topology: %v", err)
+	}
+	s, err := server.New(&t, core.Config{CandidatePaths: *paths, Seed: *seed})
+	if err != nil {
+		log.Fatalf("janusd: %v", err)
+	}
+	log.Printf("janusd: serving topology %q (%d nodes) on %s", t.Name, len(t.Nodes), *addr)
+	log.Fatal(http.ListenAndServe(*addr, s))
+}

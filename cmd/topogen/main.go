@@ -1,0 +1,66 @@
+// Command topogen emits the synthetic evaluation topologies (the Topology
+// Zoo substitutes of DESIGN.md) as JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	topogen -list
+//	topogen -name Internode            # JSON to stdout
+//	topogen -name Ans -format dot
+//	topogen -name custom -nodes 40 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"janus/internal/topo"
+)
+
+func main() {
+	name := flag.String("name", "", "topology name (a Zoo name, or anything with -nodes)")
+	nodes := flag.Int("nodes", 0, "node count for a custom topology")
+	seed := flag.Int64("seed", 1, "seed for a custom topology")
+	format := flag.String("format", "json", "output format: json or dot")
+	list := flag.Bool("list", false, "list built-in topologies and exit")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range topo.ZooSpecs {
+			fmt.Printf("%-12s %d nodes\n", spec.Name, spec.Nodes)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "topogen: -name is required (use -list)")
+		os.Exit(1)
+	}
+
+	var t *topo.Topology
+	if *nodes > 0 {
+		t = topo.Synthetic(*name, *nodes, *seed)
+	} else {
+		var err error
+		t, err = topo.Zoo(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+	case "dot":
+		fmt.Print(t.DOT())
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

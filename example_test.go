@@ -1,0 +1,77 @@
+package janus_test
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+)
+
+// ExampleCompose shows QoS label composition (§4.1, Fig 8a): two writers
+// constrain the same pair, and the composed edge takes the better label
+// and the concatenated service chain.
+func ExampleCompose() {
+	a := janus.NewPolicyGraph("writerA")
+	a.AddEdge(janus.Edge{Src: "SkypeClient", Dst: "Server",
+		Chain: janus.Chain{janus.Firewall},
+		QoS:   janus.QoS{MinBandwidth: "medium"}})
+	b := janus.NewPolicyGraph("writerB")
+	b.AddEdge(janus.Edge{Src: "SkypeClient", Dst: "Server",
+		Chain: janus.Chain{janus.LoadBalance},
+		QoS:   janus.QoS{MinBandwidth: "low"}})
+
+	composed, err := janus.Compose(nil, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := composed.Policies[0]
+	fmt.Println("chain:", p.Default.Chain)
+	fmt.Println("min b/w:", p.Default.QoS.MinBandwidth)
+	// Output:
+	// chain: FW->LB
+	// min b/w: medium
+}
+
+// ExampleConfigurator_Configure walks the minimal intent-to-paths flow on
+// a two-switch network with a load balancer.
+func ExampleConfigurator_Configure() {
+	tp := janus.NewTopology("demo")
+	s1 := tp.AddSwitch("s1")
+	s2 := tp.AddSwitch("s2")
+	lb := tp.AddNF("lb1", janus.LoadBalance)
+	for _, l := range [][2]janus.NodeID{{s1, s2}, {s1, lb}, {lb, s2}} {
+		if err := tp.AddLink(l[0], l[1], 1000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tp.AddEndpoint("m1", s1, "Marketing"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tp.AddEndpoint("w1", s2, "Web"); err != nil {
+		log.Fatal(err)
+	}
+
+	g := janus.NewPolicyGraph("web-qos")
+	g.AddEdge(janus.Edge{Src: "Marketing", Dst: "Web",
+		Chain: janus.Chain{janus.LoadBalance},
+		QoS:   janus.QoS{BandwidthMbps: 100}})
+	composed, err := janus.Compose(nil, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf, err := janus.NewConfigurator(tp, composed, janus.Config{CandidatePaths: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := conf.Configure(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configured %d/%d\n", res.SatisfiedCount(), len(res.Configured))
+	for _, a := range res.Assignments {
+		fmt.Printf("%s->%s via %s\n", a.Src, a.Dst, a.Path.Key())
+	}
+	// Output:
+	// configured 1/1
+	// m1->w1 via 0-2-1
+}

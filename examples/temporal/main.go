@@ -1,0 +1,107 @@
+// Temporal scenario (Fig 6 of the paper): time-of-day policies change the
+// composed graph three times a day; the greedy temporal chain keeps path
+// changes low across period boundaries, and the §5.6 negotiation shifts
+// bandwidth of bottleneck-heavy policies into quieter periods to configure
+// more policies overall.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+)
+
+func main() {
+	// A diamond network with a firewall, an L-IDS and a byte counter on
+	// separate branches; core links 100 Mbps.
+	tp := janus.NewTopology("temporal")
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	fw := tp.AddNF("fw1", janus.Firewall)
+	ids := tp.AddNF("ids1", janus.LightIDS)
+	bc := tp.AddNF("bc1", janus.ByteCounter)
+	link := func(x, y janus.NodeID, c float64) {
+		if err := tp.AddLink(x, y, c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	link(a, fw, 100)
+	link(fw, b, 100)
+	link(a, ids, 100)
+	link(ids, b, 100)
+	link(a, bc, 100)
+	link(bc, b, 100)
+	link(a, b, 60)
+
+	check(tp.AddEndpoint("m1", a, "Mktg"))
+	check(tp.AddEndpoint("m2", a, "Mktg"))
+	check(tp.AddEndpoint("w1", b, "Web"))
+	check(tp.AddEndpoint("i1", a, "IT"))
+	check(tp.AddEndpoint("d1", b, "DB"))
+
+	// Fig 6 policy 1: Mktg->Web via FW at 1-9h, via L-IDS at 9-14h, via BC
+	// at 14-1h — with a high bandwidth ask during business hours.
+	g1 := janus.NewPolicyGraph("mktg-temporal")
+	g1.AddEdge(janus.Edge{Src: "Mktg", Dst: "Web",
+		Chain: janus.Chain{janus.Firewall}, QoS: janus.QoS{BandwidthMbps: 30},
+		Cond: janus.Condition{Window: janus.TimeWindow{Start: 1, End: 9}}})
+	g1.AddEdge(janus.Edge{Src: "Mktg", Dst: "Web",
+		Chain: janus.Chain{janus.LightIDS}, QoS: janus.QoS{BandwidthMbps: 40},
+		Cond: janus.Condition{Window: janus.TimeWindow{Start: 9, End: 14}}})
+	g1.AddEdge(janus.Edge{Src: "Mktg", Dst: "Web",
+		Chain: janus.Chain{janus.ByteCounter}, QoS: janus.QoS{BandwidthMbps: 20},
+		Cond: janus.Condition{Window: janus.TimeWindow{Start: 14, End: 1}}})
+
+	// Fig 6 policy 3: IT->DB via BC at 1-9h with medium bandwidth, plain
+	// afterwards — a long-lived transfer that negotiation can shift.
+	g2 := janus.NewPolicyGraph("it-backup")
+	g2.AddEdge(janus.Edge{Src: "IT", Dst: "DB",
+		Chain: janus.Chain{janus.ByteCounter}, QoS: janus.QoS{BandwidthMbps: 50},
+		Cond: janus.Condition{Window: janus.TimeWindow{Start: 1, End: 9}}})
+	g2.AddEdge(janus.Edge{Src: "IT", Dst: "DB",
+		QoS:  janus.QoS{BandwidthMbps: 50},
+		Cond: janus.Condition{Window: janus.TimeWindow{Start: 9, End: 1}}})
+
+	composed, err := janus.Compose(nil, g1, g2)
+	check(err)
+	fmt.Printf("composed graph changes at hours %v\n", composed.Periods())
+
+	conf, err := janus.NewConfigurator(tp, composed, janus.Config{CandidatePaths: 5, Seed: 7})
+	check(err)
+
+	// Greedy temporal chain (§5.5).
+	chain, err := conf.ConfigureTemporal()
+	check(err)
+	fmt.Printf("greedy chain: %d configurations across periods, %d cross-period path changes, %v\n",
+		chain.TotalConfigured, chain.PathChanges, chain.Duration.Round(1e6))
+	for _, res := range chain.Results {
+		fmt.Printf("  %2dh: %d/%d configured\n", res.Period, res.SatisfiedCount(), len(res.Configured))
+	}
+
+	// Baseline: independent re-solve per period (what Table 5 compares).
+	// In this tiny scenario each period's chain requirement forces its own
+	// path family, so some cross-period changes are inherent; on larger
+	// workloads with stable chains the greedy chain eliminates >90% of
+	// them (see EXPERIMENTS.md, Table 5).
+	indep, err := conf.ConfigureTemporalIndependent()
+	check(err)
+	fmt.Printf("independent re-solve: %d cross-period path changes (greedy saves %d)\n",
+		indep.PathChanges, indep.PathChanges-chain.PathChanges)
+
+	// Negotiation (§5.6): shift 5%% of bandwidth of the top policies.
+	nego, err := conf.Negotiate(chain, 100, 5)
+	check(err)
+	fmt.Printf("negotiation: %d proposals, %+d policies configured\n",
+		len(nego.Proposals), nego.ExtraConfigured)
+	for _, p := range nego.Proposals {
+		fmt.Printf("  policy %d: -%.0f%% at %dh, +%.0f%% at %dh\n",
+			p.Policy, p.Percent, p.From, p.Percent, p.To)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"janus/internal/lp"
+	"janus/internal/milp"
+)
+
+// Configure solves one time period's configuration from scratch.
+// The period is an hour of day (0–23); static policy sets ignore it.
+func (c *Configurator) Configure(period int) (*Result, error) {
+	return c.solvePeriod(period, nil, nil, nil)
+}
+
+// Reconfigure re-solves period prev.Period after environment changes
+// (endpoint mobility, membership changes, policy graph churn), warm-started
+// from the previous basis and penalizing path changes against the previous
+// assignments (§5.4). Use CountPathChanges(prev, next) to measure the
+// disruption.
+func (c *Configurator) Reconfigure(prev *Result) (*Result, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: Reconfigure requires a previous result")
+	}
+	return c.ReconfigureAt(prev, prev.Period)
+}
+
+// ReconfigureAt re-solves for the given period (which may differ from the
+// previous result's, e.g. at a temporal boundary), warm-started from the
+// previous basis and penalizing path changes against the previous
+// assignments.
+func (c *Configurator) ReconfigureAt(prev *Result, period int) (*Result, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: ReconfigureAt requires a previous result")
+	}
+	var warm *lp.Basis
+	if prev.basis != nil {
+		warm = prev.basis
+	}
+	return c.solvePeriod(period, prev.Assignments, warm, nil)
+}
+
+// solvePeriod builds and solves the period model.
+func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp.Basis, over bwOverride) (*Result, error) {
+	start := time.Now()
+	m, err := c.buildModel(period, prevAssign, over)
+	if err != nil {
+		return nil, err
+	}
+	solver := milp.NewSolver(m.prob, m.integers)
+	// Branch on group decisions (I_i) before individual path indicators:
+	// fixing a policy in or out prunes the tree far faster.
+	prio := make(map[int]int, len(m.iVar))
+	for _, iv := range m.iVar {
+		prio[iv] = 1
+	}
+	sol, err := solver.Solve(milp.Options{
+		MaxNodes:       c.cfg.MaxNodes,
+		TimeLimit:      c.cfg.TimeLimit,
+		RelGap:         c.cfg.RelGap,
+		Branching:      c.cfg.Branching,
+		StallNodes:     c.cfg.StallNodes,
+		BranchPriority: prio,
+		MIPStart:       greedyStart(c, m, prevAssign),
+		WarmStart:      warm,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: solving period %d: %w", period, err)
+	}
+	res := &Result{
+		Period:     period,
+		Configured: make(map[int]bool, len(m.pids)),
+		SlackUsed:  make(map[int]bool),
+		Status:     sol.Status,
+		Stats: Stats{
+			Variables:    m.prob.NumVariables(),
+			Constraints:  m.prob.NumConstraints(),
+			Nodes:        sol.Nodes,
+			LPIterations: sol.LPIterations,
+			Duration:     time.Since(start),
+		},
+		basis: sol.RootBasis,
+	}
+	if sol.Status == milp.Infeasible || sol.Status == milp.Unbounded || sol.X == nil {
+		// The model always admits the all-zero solution, so this indicates
+		// a limit hit before any incumbent was found.
+		for _, pid := range m.pids {
+			res.Configured[pid] = false
+		}
+		return res, nil
+	}
+	res.Objective = sol.Objective
+	for _, pid := range m.pids {
+		res.Configured[pid] = sol.X[m.iVar[pid]] > 0.5
+	}
+	for pid, xi := range m.xiVar {
+		res.SlackUsed[pid] = sol.X[xi] > 0.5
+	}
+	for _, pv := range m.pvars {
+		if sol.X[pv.v] > 0.5 {
+			res.Assignments = append(res.Assignments, Assignment{
+				Policy:  pv.pid,
+				EdgeIdx: pv.edgeIdx,
+				Role:    pv.role,
+				Src:     pv.src,
+				Dst:     pv.dst,
+				Path:    pv.path,
+				BW:      pv.bw,
+			})
+		}
+	}
+	// Link report: reservations from the integer solution, shadow prices
+	// from the root relaxation (§5.6 sensitivity analysis).
+	reserved := map[[2]int64]float64{}
+	for _, a := range res.Assignments {
+		for _, l := range a.Path.Links() {
+			reserved[[2]int64{int64(l[0]), int64(l[1])}] += a.BW
+		}
+	}
+	for l, row := range m.linkRow {
+		capacity, _ := c.topo.LinkCapacity(l[0], l[1])
+		use := LinkUse{
+			From: l[0], To: l[1],
+			Capacity: capacity,
+			Reserved: reserved[[2]int64{int64(l[0]), int64(l[1])}],
+		}
+		if sol.RootDuals != nil && row < len(sol.RootDuals) {
+			use.ShadowPrice = sol.RootDuals[row]
+		}
+		res.Links = append(res.Links, use)
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Proposal is one bandwidth renegotiation Janus offers a policy writer
+// (§5.6): decrease the policy's bandwidth by the factor at period From and
+// compensate by the same factor at period To.
+type Proposal struct {
+	Policy  int
+	From    int     // period losing N% bandwidth
+	To      int     // future period gaining N% bandwidth
+	Percent float64 // N
+}
+
+// NegotiationResult reports the outcome of a negotiation pass.
+type NegotiationResult struct {
+	// Baseline is the greedy chain before negotiation.
+	Baseline *TemporalResult
+	// Negotiated is the greedy chain after applying the proposals.
+	Negotiated *TemporalResult
+	// Proposals lists the bandwidth shifts offered to policy writers.
+	Proposals []Proposal
+	// ExtraConfigured is Negotiated.TotalConfigured −
+	// Baseline.TotalConfigured.
+	ExtraConfigured int
+}
+
+// Negotiate runs the §5.6 bandwidth negotiation for temporal policies:
+// for each period t (earliest first), the configured policies are ranked by
+// the number of bottleneck links their paths cross (bottleneck = positive
+// shadow price in the period's LP relaxation); for the top K percent, Janus
+// looks for a future period where the policy's selected paths have headroom
+// for an N percent increase, then shifts N percent of bandwidth from t to
+// that period. The chain is re-solved with the shifted bandwidths.
+//
+// K and N are percentages in (0,100]. The returned proposals are what Janus
+// would surface to policy writers for approval.
+func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*NegotiationResult, error) {
+	if baseline == nil {
+		var err error
+		baseline, err = c.ConfigureTemporal()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if K <= 0 || K > 100 {
+		return nil, fmt.Errorf("core: K = %g out of (0,100]", K)
+	}
+	if N <= 0 || N > 100 {
+		return nil, fmt.Errorf("core: N = %g out of (0,100]", N)
+	}
+
+	over := bwOverride{}
+	var proposals []Proposal
+
+	// Residual headroom per (period index, link) from the baseline.
+	type linkID [2]int64
+	headroom := make([]map[linkID]float64, len(baseline.Results))
+	for k, res := range baseline.Results {
+		headroom[k] = map[linkID]float64{}
+		for _, l := range res.Links {
+			headroom[k][linkID{int64(l.From), int64(l.To)}] = l.Capacity - l.Reserved
+		}
+	}
+
+	for k, res := range baseline.Results {
+		// Bottleneck links of this period.
+		bottleneck := map[linkID]bool{}
+		for _, l := range res.Bottlenecks() {
+			bottleneck[linkID{int64(l.From), int64(l.To)}] = true
+		}
+		// Rank configured policies by bottleneck-link usage (descending).
+		type ranked struct {
+			pid  int
+			hits int
+		}
+		var rank []ranked
+		usage := map[int]int{}
+		for _, a := range res.Assignments {
+			if a.Role != HardEdge || !res.Configured[a.Policy] {
+				continue
+			}
+			for _, l := range a.Path.Links() {
+				if bottleneck[linkID{int64(l[0]), int64(l[1])}] {
+					usage[a.Policy]++
+				}
+			}
+		}
+		for pid, hits := range usage {
+			rank = append(rank, ranked{pid, hits})
+		}
+		sort.Slice(rank, func(i, j int) bool {
+			if rank[i].hits != rank[j].hits {
+				return rank[i].hits > rank[j].hits
+			}
+			return rank[i].pid < rank[j].pid
+		})
+		top := int(float64(len(rank))*K/100 + 0.5)
+		if top > len(rank) {
+			top = len(rank)
+		}
+
+		for _, r := range rank[:top] {
+			if over.factor(r.pid, baseline.Periods[k]) != 1 {
+				continue // already renegotiated at this period
+			}
+			// The policy's per-pair bandwidth at this period.
+			bw := 0.0
+			var pathsAt [][2]int64
+			for _, a := range res.Assignments {
+				if a.Policy == r.pid && a.Role == HardEdge {
+					bw = a.BW
+					break
+				}
+			}
+			if bw <= 0 {
+				continue
+			}
+			delta := bw * N / 100
+			// Find a future period where every link of the policy's
+			// selected paths has headroom for +N%.
+			for fk := k + 1; fk < len(baseline.Results); fk++ {
+				future := baseline.Results[fk]
+				if !future.Configured[r.pid] {
+					continue
+				}
+				pathsAt = pathsAt[:0]
+				feasible := true
+				need := map[linkID]float64{}
+				for _, a := range future.Assignments {
+					if a.Policy != r.pid || a.Role != HardEdge {
+						continue
+					}
+					for _, l := range a.Path.Links() {
+						need[linkID{int64(l[0]), int64(l[1])}] += delta
+					}
+				}
+				if len(need) == 0 {
+					continue
+				}
+				for l, d := range need {
+					if headroom[fk][l] < d {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				// Commit the shift.
+				for l, d := range need {
+					headroom[fk][l] -= d
+				}
+				if over[r.pid] == nil {
+					over[r.pid] = map[int]float64{}
+				}
+				over[r.pid][baseline.Periods[k]] = 1 - N/100
+				over[r.pid][baseline.Periods[fk]] = 1 + N/100
+				proposals = append(proposals, Proposal{
+					Policy: r.pid, From: baseline.Periods[k], To: baseline.Periods[fk], Percent: N,
+				})
+				break
+			}
+		}
+	}
+
+	negotiated, err := c.configureTemporal(over)
+	if err != nil {
+		return nil, err
+	}
+	return &NegotiationResult{
+		Baseline:        baseline,
+		Negotiated:      negotiated,
+		Proposals:       proposals,
+		ExtraConfigured: negotiated.TotalConfigured - baseline.TotalConfigured,
+	}, nil
+}

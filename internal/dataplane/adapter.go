@@ -1,0 +1,32 @@
+package dataplane
+
+import (
+	"janus/internal/compose"
+	"janus/internal/policy"
+)
+
+// GraphAdapter exposes a composed policy graph as a matchLookup for rule
+// compilation: it resolves the classifier of each (policy, edge) slot.
+type GraphAdapter struct {
+	g *compose.Graph
+}
+
+// NewGraphAdapter wraps a composed graph.
+func NewGraphAdapter(g *compose.Graph) *GraphAdapter {
+	return &GraphAdapter{g: g}
+}
+
+// MatchFor returns the classifier of the policy's edgeIdx-th edge (the
+// AllEdges ordering used by the configurator), or the match-all classifier
+// for unknown slots.
+func (a *GraphAdapter) MatchFor(policyID, edgeIdx int) policy.Classifier {
+	p := a.g.PolicyByID(policyID)
+	if p == nil {
+		return policy.Classifier{}
+	}
+	all := p.AllEdges()
+	if edgeIdx < 0 || edgeIdx >= len(all) {
+		return policy.Classifier{}
+	}
+	return all[edgeIdx].Match
+}

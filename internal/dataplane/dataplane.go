@@ -1,0 +1,355 @@
+// Package dataplane simulates the OpenFlow-style substrate the Janus
+// prototype (§6) installs configurations into: switches with priority flow
+// tables and rate-limited queues, a controller that compiles path
+// assignments to per-switch rules, diffs rule sets across reconfigurations
+// (the cost model behind "minimize path changes", §2.2), and accounts for
+// NF state transfers when a path move strands middlebox state.
+//
+// The simulation is deliberately at flow-rule granularity, not packet
+// granularity: the paper's evaluation measures configuration quality
+// (policies satisfied, path changes, rule updates), which this level
+// reproduces faithfully.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"janus/internal/core"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// Rule is one flow-table entry on a switch: traffic of a (src,dst) endpoint
+// flow matching Match is forwarded to NextHop, optionally into a
+// rate-limited queue (OpenFlow QoS queues, §6).
+type Rule struct {
+	Switch  topo.NodeID
+	Src     string // endpoint name
+	Dst     string
+	Match   policy.Classifier
+	NextHop topo.NodeID
+	// InPort is the neighbor node the packet arrived from, or HostPort for
+	// traffic entering from an attached endpoint. Input-port matching lets
+	// one switch forward the same flow differently before and after an
+	// NF-on-a-stick detour.
+	InPort topo.NodeID
+	// QueueMbps is the rate limit of the queue the flow is mapped to;
+	// 0 means the default (best-effort) queue.
+	QueueMbps float64
+	// Priority orders overlapping rules; higher wins.
+	Priority int
+}
+
+// HostPort is the InPort of rules matching traffic entering from an
+// attached endpoint.
+const HostPort = topo.NodeID(-1)
+
+// Key identifies the rule slot (switch + flow + inport); two rules with
+// equal keys and different actions are an update, not an insert.
+func (r Rule) Key() string {
+	return fmt.Sprintf("%d|%s|%s|%s|%d", r.Switch, r.Src, r.Dst, r.Match, r.InPort)
+}
+
+// action returns the behavior part of the rule for diffing.
+func (r Rule) action() string {
+	return fmt.Sprintf("%d|%g|%d", r.NextHop, r.QueueMbps, r.Priority)
+}
+
+// FlowTable is the rule set of one switch.
+type FlowTable struct {
+	rules map[string]Rule
+}
+
+// Switch is one simulated forwarding element.
+type Switch struct {
+	ID    topo.NodeID
+	Table FlowTable
+}
+
+// Network is the simulated dataplane: per-node flow tables (switches, plus
+// the vswitch port of every NF box) and the NF boxes' per-flow state.
+type Network struct {
+	topo     *topo.Topology
+	switches map[topo.NodeID]*Switch
+	// nfState tracks which NF box holds state for each (flow, NF kind):
+	// moving a flow to a path using a different box of the same kind
+	// requires a state transfer (§2.2 / OpenNF).
+	nfState map[string]topo.NodeID
+}
+
+// NewNetwork builds the dataplane for a topology. Every node gets a flow
+// table: forwarding through an NF box is steered by rules on its
+// attachment port, exactly like a switch.
+func NewNetwork(t *topo.Topology) *Network {
+	n := &Network{
+		topo:     t,
+		switches: make(map[topo.NodeID]*Switch),
+		nfState:  make(map[string]topo.NodeID),
+	}
+	for _, node := range t.Nodes {
+		n.switches[node.ID] = &Switch{ID: node.ID, Table: FlowTable{rules: map[string]Rule{}}}
+	}
+	return n
+}
+
+// Switches returns the switch IDs in ascending order.
+func (n *Network) Switches() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(n.switches))
+	for id := range n.switches {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RuleCount returns the total installed rules.
+func (n *Network) RuleCount() int {
+	total := 0
+	for _, sw := range n.switches {
+		total += len(sw.Table.rules)
+	}
+	return total
+}
+
+// RulesAt returns the rules installed on one switch, sorted by key.
+func (n *Network) RulesAt(id topo.NodeID) []Rule {
+	sw, ok := n.switches[id]
+	if !ok {
+		return nil
+	}
+	out := make([]Rule, 0, len(sw.Table.rules))
+	for _, r := range sw.Table.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// CompileResult reports what applying a configuration did to the network.
+type CompileResult struct {
+	// RulesInstalled / RulesUpdated / RulesRemoved count flow-table deltas.
+	RulesInstalled int
+	RulesUpdated   int
+	RulesRemoved   int
+	// SwitchesTouched is the number of distinct switches with any delta —
+	// the paper's rule-update latency scales with this (§2.2, He et al.).
+	SwitchesTouched int
+	// NFStateTransfers counts flows whose middlebox state had to move to a
+	// different NF box because their path changed (§2.2, OpenNF).
+	NFStateTransfers int
+}
+
+// CompileRules translates one period's assignments into per-switch rules.
+// Each hard-edge assignment becomes one rule per switch on its path,
+// mapping the flow into a queue rate-limited at the assignment's bandwidth
+// (the queue-based QoS enforcement of §6). Soft (reserved) assignments
+// install no rules until their condition fires.
+func CompileRules(t *topo.Topology, g matchLookup, res *core.Result) []Rule {
+	var rules []Rule
+	for _, a := range res.Assignments {
+		if a.Role != core.HardEdge {
+			continue
+		}
+		match := g.MatchFor(a.Policy, a.EdgeIdx)
+		nodes := a.Path.Nodes
+		for i := 0; i+1 < len(nodes); i++ {
+			inPort := HostPort
+			if i > 0 {
+				inPort = nodes[i-1]
+			}
+			// Next hop is the next node on the path (switch or NF box).
+			rules = append(rules, Rule{
+				Switch:    nodes[i],
+				Src:       a.Src,
+				Dst:       a.Dst,
+				Match:     match,
+				NextHop:   nodes[i+1],
+				InPort:    inPort,
+				QueueMbps: a.BW,
+				Priority:  1,
+			})
+		}
+	}
+	return rules
+}
+
+// matchLookup resolves the classifier of a policy edge; implemented by
+// *compose.Graph via the Adapter below, kept as an interface so tests can
+// stub it.
+type matchLookup interface {
+	MatchFor(policyID, edgeIdx int) policy.Classifier
+}
+
+// Apply installs a rule set, replacing the previous configuration, and
+// returns the delta report. NF state transfers are detected by comparing,
+// per flow and NF kind, which NF box the old and new paths traverse.
+func (n *Network) Apply(rules []Rule, assignments []core.Assignment) CompileResult {
+	var rep CompileResult
+	next := make(map[string]Rule, len(rules))
+	for _, r := range rules {
+		next[r.Key()] = r
+	}
+	touched := map[topo.NodeID]bool{}
+
+	for _, sw := range n.switches {
+		for key, old := range sw.Table.rules {
+			if repl, ok := next[key]; ok {
+				if repl.action() != old.action() {
+					rep.RulesUpdated++
+					touched[old.Switch] = true
+					sw.Table.rules[key] = repl
+				}
+			} else {
+				rep.RulesRemoved++
+				touched[old.Switch] = true
+				delete(sw.Table.rules, key)
+			}
+		}
+	}
+	for key, r := range next {
+		sw, ok := n.switches[r.Switch]
+		if !ok {
+			continue
+		}
+		if _, exists := sw.Table.rules[key]; !exists {
+			rep.RulesInstalled++
+			touched[r.Switch] = true
+			sw.Table.rules[key] = r
+		}
+	}
+	rep.SwitchesTouched = len(touched)
+
+	// NF state accounting: for each hard assignment, find the NF boxes its
+	// path traverses; a flow whose state lived on a different box of the
+	// same kind pays one transfer.
+	for _, a := range assignments {
+		if a.Role != core.HardEdge {
+			continue
+		}
+		flow := a.Src + "->" + a.Dst
+		for _, node := range a.Path.Nodes {
+			if n.topo.Nodes[node].Kind != topo.NFBox {
+				continue
+			}
+			kind := n.topo.Nodes[node].NF
+			if !statefulNF(kind) {
+				continue
+			}
+			key := flow + "|" + string(kind)
+			if prev, ok := n.nfState[key]; ok && prev != node {
+				rep.NFStateTransfers++
+			}
+			n.nfState[key] = node
+		}
+	}
+	return rep
+}
+
+// statefulNF reports whether a middlebox kind carries per-flow state that
+// must be transferred on path changes.
+func statefulNF(k policy.NFKind) bool {
+	switch k {
+	case policy.LightIDS, policy.HeavyIDS, policy.StatefulFW, policy.DPI:
+		return true
+	default:
+		return false
+	}
+}
+
+// Lookup simulates forwarding: starting at the source endpoint's attachment
+// switch, follow installed rules for the flow until the destination's
+// switch is reached (and its chain is done). Switch rules match on input
+// port, so NF-on-a-stick detours forward correctly. It returns the
+// traversed node sequence or an error on a blackhole or loop (the §8
+// consistency concerns).
+func (n *Network) Lookup(src, dst string, proto policy.Protocol, port int) ([]topo.NodeID, error) {
+	srcEP, ok := n.topo.EndpointByName(src)
+	if !ok {
+		return nil, fmt.Errorf("dataplane: unknown endpoint %q", src)
+	}
+	dstEP, ok := n.topo.EndpointByName(dst)
+	if !ok {
+		return nil, fmt.Errorf("dataplane: unknown endpoint %q", dst)
+	}
+	cur := srcEP.Attach
+	prev := HostPort
+	var walk []topo.NodeID
+	maxSteps := 4*len(n.topo.Nodes) + 8
+	for steps := 0; steps <= maxSteps; steps++ {
+		walk = append(walk, cur)
+		sw := n.switches[cur]
+		rule, ok := n.matchRule(sw, src, dst, prev, proto, port)
+		if !ok {
+			if cur == dstEP.Attach {
+				return walk, nil // delivered to the attached endpoint
+			}
+			return walk, fmt.Errorf("dataplane: blackhole at switch %d for %s->%s", cur, src, dst)
+		}
+		prev, cur = cur, rule.NextHop
+	}
+	return walk, fmt.Errorf("dataplane: forwarding loop for %s->%s (walk %v)", src, dst, walk)
+}
+
+func (n *Network) matchRule(sw *Switch, src, dst string, inPort topo.NodeID, proto policy.Protocol, port int) (Rule, bool) {
+	best := Rule{Priority: -1}
+	found := false
+	for _, r := range sw.Table.rules {
+		if r.Src != src || r.Dst != dst || r.InPort != inPort {
+			continue
+		}
+		if !r.Match.Matches(proto, port) {
+			continue
+		}
+		if r.Priority > best.Priority {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// QueueLoad sums, per directed link, the queue rate limits of rules
+// forwarding onto that link — the bandwidth the dataplane has promised.
+// Links whose promises exceed capacity indicate a configuration bug.
+func (n *Network) QueueLoad() map[[2]topo.NodeID]float64 {
+	out := map[[2]topo.NodeID]float64{}
+	for _, sw := range n.switches {
+		for _, r := range sw.Table.rules {
+			if r.QueueMbps > 0 {
+				out[[2]topo.NodeID{r.Switch, r.NextHop}] += r.QueueMbps
+			}
+		}
+	}
+	return out
+}
+
+// OverSubscribed returns the links whose promised queue bandwidth exceeds
+// capacity.
+func (n *Network) OverSubscribed() []string {
+	var out []string
+	for l, load := range n.QueueLoad() {
+		if capacity, ok := n.topo.LinkCapacity(l[0], l[1]); ok && load > capacity+1e-6 {
+			out = append(out, fmt.Sprintf("%d->%d: %.1f/%.1f Mbps", l[0], l[1], load, capacity))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact view of the flow tables.
+func (n *Network) String() string {
+	var b strings.Builder
+	for _, id := range n.Switches() {
+		rules := n.RulesAt(id)
+		if len(rules) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "switch %d:\n", id)
+		for _, r := range rules {
+			fmt.Fprintf(&b, "  %s->%s [%s] out=%d q=%gMbps\n", r.Src, r.Dst, r.Match, r.NextHop, r.QueueMbps)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package dataplane
+
+import (
+	"testing"
+
+	"janus/internal/core"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// diamond builds a-{top,bottom}-b with a client on a and server on b.
+func diamond(t *testing.T) (*topo.Topology, map[string]topo.NodeID) {
+	t.Helper()
+	tp := topo.NewTopology("diamond")
+	ids := map[string]topo.NodeID{}
+	for _, n := range []string{"a", "top", "bottom", "b"} {
+		ids[n] = tp.AddSwitch(n)
+	}
+	link := func(x, y string) {
+		t.Helper()
+		if err := tp.AddLink(ids[x], ids[y], 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("a", "top")
+	link("top", "b")
+	link("a", "bottom")
+	link("bottom", "b")
+	if err := tp.AddEndpoint("cl", ids["a"], "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("srv", ids["b"], "S"); err != nil {
+		t.Fatal(err)
+	}
+	return tp, ids
+}
+
+func rulesFor(t *testing.T, tp *topo.Topology, path ...topo.NodeID) []Rule {
+	t.Helper()
+	res := &core.Result{Assignments: []core.Assignment{{
+		Policy: 0, Role: core.HardEdge, Src: "cl", Dst: "srv",
+		Path: pathOfIDs(path...), BW: 10,
+	}}}
+	return CompileRules(tp, stubLookup{}, res)
+}
+
+func TestPlanUpdatePhases(t *testing.T) {
+	tp, ids := diamond(t)
+	n := NewNetwork(tp)
+	oldRules := rulesFor(t, tp, ids["a"], ids["top"], ids["b"])
+	if err := n.ApplyPlan(n.PlanUpdate(oldRules)); err != nil {
+		t.Fatal(err)
+	}
+	walk, err := n.Lookup("cl", "srv", policy.TCP, 80)
+	if err != nil {
+		t.Fatalf("initial path: %v", err)
+	}
+	if !containsNode(walk, ids["top"]) {
+		t.Fatalf("initial walk %v should use top", walk)
+	}
+
+	// Reroute via bottom with a three-phase plan; after EVERY phase the
+	// flow must still be deliverable (no transient blackhole).
+	newRules := rulesFor(t, tp, ids["a"], ids["bottom"], ids["b"])
+	plan := n.PlanUpdate(newRules)
+	if len(plan.Ops) == 0 {
+		t.Fatal("reroute should produce operations")
+	}
+	for phase := 1; phase <= 3; phase++ {
+		if err := n.ApplyPhase(plan, phase); err != nil {
+			t.Fatal(err)
+		}
+		walk, err := n.Lookup("cl", "srv", policy.TCP, 80)
+		if err != nil {
+			t.Fatalf("after phase %d: %v", phase, err)
+		}
+		// Consistency: the walk is entirely old or entirely new.
+		usesTop := containsNode(walk, ids["top"])
+		usesBottom := containsNode(walk, ids["bottom"])
+		if usesTop == usesBottom {
+			t.Fatalf("after phase %d: mixed walk %v", phase, walk)
+		}
+		if phase >= 2 && !usesBottom {
+			t.Fatalf("after commit phase the flow should use bottom, walk %v", walk)
+		}
+		if phase == 1 && !usesTop {
+			t.Fatalf("pre-install phase must not move traffic, walk %v", walk)
+		}
+	}
+	// Phase 3 removed the stale top rules.
+	for _, r := range n.RulesAt(ids["top"]) {
+		if r.Src == "cl" {
+			t.Errorf("stale rule on top remains: %+v", r)
+		}
+	}
+}
+
+func TestPlanUpdateNoChange(t *testing.T) {
+	tp, ids := diamond(t)
+	n := NewNetwork(tp)
+	rules := rulesFor(t, tp, ids["a"], ids["top"], ids["b"])
+	if err := n.ApplyPlan(n.PlanUpdate(rules)); err != nil {
+		t.Fatal(err)
+	}
+	plan := n.PlanUpdate(rules)
+	if len(plan.Ops) != 0 {
+		t.Errorf("identical target should plan no ops, got %d", len(plan.Ops))
+	}
+}
+
+func TestPlanUpdatePhaseCounts(t *testing.T) {
+	tp, ids := diamond(t)
+	n := NewNetwork(tp)
+	oldRules := rulesFor(t, tp, ids["a"], ids["top"], ids["b"])
+	if err := n.ApplyPlan(n.PlanUpdate(oldRules)); err != nil {
+		t.Fatal(err)
+	}
+	plan := n.PlanUpdate(rulesFor(t, tp, ids["a"], ids["bottom"], ids["b"]))
+	// Phase 2 is exactly the ingress switch.
+	if plan.SwitchesPerPhase[2] != 1 {
+		t.Errorf("commit phase touches %d switches, want 1", plan.SwitchesPerPhase[2])
+	}
+	if plan.SwitchesPerPhase[1] == 0 {
+		t.Error("pre-install phase should touch downstream switches")
+	}
+	if plan.SwitchesPerPhase[3] == 0 {
+		t.Error("cleanup phase should remove old rules")
+	}
+}
+
+func TestApplyPhaseValidation(t *testing.T) {
+	tp, _ := diamond(t)
+	n := NewNetwork(tp)
+	plan := &UpdatePlan{}
+	if err := n.ApplyPhase(plan, 0); err == nil {
+		t.Error("phase 0 should error")
+	}
+	if err := n.ApplyPhase(plan, 4); err == nil {
+		t.Error("phase 4 should error")
+	}
+	bad := &UpdatePlan{Ops: []UpdateOp{{Phase: 1, Install: true, Rule: Rule{Switch: 99}}}}
+	if err := n.ApplyPhase(bad, 1); err == nil {
+		t.Error("op on unknown switch should error")
+	}
+}
+
+func containsNode(walk []topo.NodeID, x topo.NodeID) bool {
+	for _, n := range walk {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}

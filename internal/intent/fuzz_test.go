@@ -1,0 +1,51 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every
+// successfully parsed graph re-formats and re-parses to the same
+// structure (Format∘Parse is idempotent on valid inputs). Run with
+// `go test -fuzz=FuzzParse ./internal/intent` for extended fuzzing; the
+// seed corpus runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"graph g\nA -> B",
+		"graph g weight 4\nepg A labels X,Y\nA -> B: minbw high",
+		"graph g\nA -> B: match tcp/80,443; chain FW,LB; minbw 100Mbps; default",
+		"graph g\nA -> B: when time 9-18; jitter low",
+		"graph g\nA -> B: when failed-connections >= 5; latency strict",
+		"graph g\nA -> B: when e > 4; when e < 9",
+		"# comment only\ngraph g\n\nA -> B: maxbw medium",
+		"graph",
+		"graph g\nA ->",
+		"graph g\nA -> B: match",
+		"graph g\nA -> B: when time 99-3",
+		strings.Repeat("graph g\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		text := Format(g)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output does not re-parse: %v\ninput: %q\nformatted: %q", err, src, text)
+		}
+		if len(back.Edges) != len(g.Edges) || len(back.EPGs) != len(g.EPGs) {
+			t.Fatalf("round trip changed structure: %d/%d edges, %d/%d EPGs",
+				len(back.Edges), len(g.Edges), len(back.EPGs), len(g.EPGs))
+		}
+		for i := range g.Edges {
+			if g.Edges[i].String() != back.Edges[i].String() {
+				t.Fatalf("edge %d drift: %q vs %q", i, g.Edges[i], back.Edges[i])
+			}
+		}
+	})
+}

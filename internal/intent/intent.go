@@ -1,0 +1,459 @@
+// Package intent implements a small text language for Janus policy graphs,
+// standing in for the extended-Pyretic intent layer of the paper's
+// prototype (§6). Policy writers express graphs as plain text:
+//
+//	# QoS policy of Fig 1(a)
+//	graph web-qos weight 4
+//
+//	epg Marketing labels Nml,Mktg
+//	epg Web labels Nml,Web
+//
+//	Marketing -> Web: match tcp/80,443; chain LB; minbw 100Mbps
+//	Marketing -> Web: chain L-IDS,H-IDS; when failed-connections >= 5
+//	Marketing -> Web: minbw high; when time 9-18
+//
+// One file is one policy graph: a `graph` header, optional `epg`
+// declarations (EPGs referenced only in edges default to a label equal to
+// their name), and one edge per line. Edge clauses are semicolon-separated:
+//
+//	match PROTO[/PORT[,PORT…]]      traffic classifier
+//	chain NF[,NF…]                  waypoint service chain
+//	minbw LABEL | <n>Mbps           minimum bandwidth (label or explicit)
+//	maxbw LABEL                     maximum bandwidth label
+//	latency LABEL                   latency label (hop budget)
+//	jitter LABEL                    jitter label (priority queue)
+//	when time H-H                   temporal window (hours of day)
+//	when EVENT >= N | when EVENT < N  stateful condition
+//	default                         marks the stateful default edge
+//
+// Parse errors carry line numbers. Format renders a graph back to the
+// language; Parse∘Format is the identity on the graph structure.
+package intent
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"janus/internal/labels"
+	"janus/internal/policy"
+)
+
+// ParseError is a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("intent: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads one policy graph from the intent language.
+func Parse(src string) (*policy.Graph, error) {
+	var g *policy.Graph
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(text, '#'); idx >= 0 {
+			text = strings.TrimSpace(text[:idx])
+		}
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "graph "):
+			if g != nil {
+				return nil, errf(line, "duplicate graph header")
+			}
+			var err error
+			g, err = parseHeader(line, text)
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(text, "epg "):
+			if g == nil {
+				return nil, errf(line, "epg before graph header")
+			}
+			e, err := parseEPG(line, text)
+			if err != nil {
+				return nil, err
+			}
+			g.AddEPG(e)
+		default:
+			if g == nil {
+				return nil, errf(line, "edge before graph header")
+			}
+			e, err := parseEdge(line, text)
+			if err != nil {
+				return nil, err
+			}
+			g.AddEdge(e)
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("intent: no graph header found")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	return g, nil
+}
+
+func parseHeader(line int, text string) (*policy.Graph, error) {
+	fields := strings.Fields(text)
+	// graph NAME [weight W]
+	if len(fields) < 2 {
+		return nil, errf(line, "graph header needs a name")
+	}
+	if !validName(fields[1]) {
+		return nil, errf(line, "invalid graph name %q", fields[1])
+	}
+	g := policy.NewGraph(fields[1])
+	rest := fields[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "weight":
+			if len(rest) < 2 {
+				return nil, errf(line, "weight needs a value")
+			}
+			w, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil || w <= 0 {
+				return nil, errf(line, "bad weight %q", rest[1])
+			}
+			g.Weight = w
+			rest = rest[2:]
+		default:
+			return nil, errf(line, "unknown graph attribute %q", rest[0])
+		}
+	}
+	return g, nil
+}
+
+func parseEPG(line int, text string) (policy.EPG, error) {
+	fields := strings.Fields(text)
+	// epg NAME [labels a,b,c]
+	if len(fields) < 2 {
+		return policy.EPG{}, errf(line, "epg needs a name")
+	}
+	name := fields[1]
+	if !validName(name) {
+		return policy.EPG{}, errf(line, "invalid epg name %q", name)
+	}
+	labels := []string{name}
+	rest := fields[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "labels":
+			if len(rest) < 2 {
+				return policy.EPG{}, errf(line, "labels needs a value")
+			}
+			labels = strings.Split(rest[1], ",")
+			rest = rest[2:]
+		default:
+			return policy.EPG{}, errf(line, "unknown epg attribute %q", rest[0])
+		}
+	}
+	return policy.NewEPG(name, labels...), nil
+}
+
+func parseEdge(line int, text string) (policy.Edge, error) {
+	head, clauses, found := strings.Cut(text, ":")
+	if !found {
+		clauses = ""
+		head = text
+	}
+	src, dst, ok := splitArrow(head)
+	if !ok {
+		return policy.Edge{}, errf(line, "edge must be SRC -> DST[: clauses], got %q", text)
+	}
+	e := policy.Edge{Src: src, Dst: dst}
+	for _, clause := range strings.Split(clauses, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := applyClause(line, &e, clause); err != nil {
+			return policy.Edge{}, err
+		}
+	}
+	return e, nil
+}
+
+func splitArrow(head string) (src, dst string, ok bool) {
+	parts := strings.Split(head, "->")
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	src = strings.TrimSpace(parts[0])
+	dst = strings.TrimSpace(parts[1])
+	return src, dst, validName(src) && validName(dst)
+}
+
+// validName restricts EPG/graph names to single tokens free of the
+// language's separators, so every parsed name survives a Format/Parse
+// round trip.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if unicode.IsSpace(r) || !unicode.IsGraphic(r) || strings.ContainsRune(",;:#", r) {
+			return false
+		}
+	}
+	return true
+}
+
+func applyClause(line int, e *policy.Edge, clause string) error {
+	word, rest, _ := strings.Cut(clause, " ")
+	rest = strings.TrimSpace(rest)
+	switch word {
+	case "match":
+		m, err := parseClassifier(line, rest)
+		if err != nil {
+			return err
+		}
+		e.Match = m
+	case "chain":
+		if rest == "" {
+			return errf(line, "chain needs NF kinds")
+		}
+		for _, nf := range strings.Split(rest, ",") {
+			nf = strings.TrimSpace(nf)
+			if nf == "" {
+				return errf(line, "empty NF in chain")
+			}
+			e.Chain = append(e.Chain, policy.NFKind(nf))
+		}
+	case "minbw":
+		if strings.HasSuffix(rest, "Mbps") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(rest, "Mbps"), 64)
+			if err != nil || v <= 0 {
+				return errf(line, "bad bandwidth %q", rest)
+			}
+			e.QoS.BandwidthMbps = v
+		} else if rest == "" {
+			return errf(line, "minbw needs a label or <n>Mbps")
+		} else {
+			e.QoS.MinBandwidth = labelOf(rest)
+		}
+	case "maxbw":
+		if rest == "" {
+			return errf(line, "maxbw needs a label")
+		}
+		e.QoS.MaxBandwidth = labelOf(rest)
+	case "latency":
+		if rest == "" {
+			return errf(line, "latency needs a label")
+		}
+		e.QoS.Latency = labelOf(rest)
+	case "jitter":
+		if rest == "" {
+			return errf(line, "jitter needs a label")
+		}
+		e.QoS.Jitter = labelOf(rest)
+	case "when":
+		return parseWhen(line, e, rest)
+	case "default":
+		if rest != "" {
+			return errf(line, "default takes no argument")
+		}
+		e.Default = true
+	default:
+		return errf(line, "unknown clause %q", word)
+	}
+	return nil
+}
+
+func labelOf(s string) labels.Label {
+	return labels.Label(strings.TrimSpace(s))
+}
+
+func parseClassifier(line int, rest string) (policy.Classifier, error) {
+	if rest == "" {
+		return policy.Classifier{}, errf(line, "match needs PROTO[/PORTS]")
+	}
+	proto, ports, hasPorts := strings.Cut(rest, "/")
+	c := policy.Classifier{Proto: policy.Protocol(strings.TrimSpace(proto))}
+	switch c.Proto {
+	case policy.TCP, policy.UDP, policy.Any:
+	default:
+		return policy.Classifier{}, errf(line, "unknown protocol %q", proto)
+	}
+	if hasPorts {
+		for _, p := range strings.Split(ports, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 || v > 65535 {
+				return policy.Classifier{}, errf(line, "bad port %q", p)
+			}
+			c.Ports = append(c.Ports, v)
+		}
+	}
+	return c, nil
+}
+
+func parseWhen(line int, e *policy.Edge, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return errf(line, "when needs a condition")
+	}
+	if fields[0] == "time" {
+		if len(fields) != 2 {
+			return errf(line, "when time needs H-H")
+		}
+		lo, hi, ok := strings.Cut(fields[1], "-")
+		if !ok {
+			return errf(line, "when time needs H-H, got %q", fields[1])
+		}
+		start, err1 := strconv.Atoi(lo)
+		end, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil {
+			return errf(line, "bad time window %q", fields[1])
+		}
+		w := policy.TimeWindow{Start: start, End: end}
+		if err := w.Validate(); err != nil {
+			return errf(line, "%v", err)
+		}
+		e.Cond.Window = w
+		return nil
+	}
+	// Stateful: EVENT >= N or EVENT < N.
+	if len(fields) != 3 {
+		return errf(line, "when needs EVENT >= N or EVENT < N, got %q", rest)
+	}
+	ev := policy.Event(fields[0])
+	n, err := strconv.Atoi(fields[2])
+	if err != nil || n < 0 {
+		return errf(line, "bad threshold %q", fields[2])
+	}
+	var cond policy.StatefulCond
+	switch fields[1] {
+	case ">=":
+		cond = policy.WhenAtLeast(ev, n)
+	case "<":
+		cond = policy.WhenBelow(ev, n)
+	case ">":
+		cond = policy.WhenAtLeast(ev, n+1)
+	default:
+		return errf(line, "unknown comparison %q (use >=, >, <)", fields[1])
+	}
+	merged, ok := e.Cond.Stateful.And(cond)
+	if !ok {
+		return errf(line, "unsatisfiable stateful condition")
+	}
+	e.Cond.Stateful = merged
+	return nil
+}
+
+// Format renders a policy graph in the intent language. Parsing the output
+// reproduces the graph.
+func Format(g *policy.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s", g.Name)
+	if g.Weight > 0 {
+		fmt.Fprintf(&b, " weight %g", g.Weight)
+	}
+	b.WriteString("\n\n")
+	for _, e := range g.EPGs {
+		fmt.Fprintf(&b, "epg %s labels %s\n", e.Name, strings.Join(e.Labels, ","))
+	}
+	if len(g.EPGs) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, e := range g.Edges {
+		b.WriteString(formatEdge(e))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatEdge(e policy.Edge) string {
+	var clauses []string
+	if !e.Match.MatchAll() {
+		clauses = append(clauses, "match "+formatClassifier(e.Match))
+	}
+	if len(e.Chain) > 0 {
+		parts := make([]string, len(e.Chain))
+		for i, nf := range e.Chain {
+			parts[i] = string(nf)
+		}
+		clauses = append(clauses, "chain "+strings.Join(parts, ","))
+	}
+	if e.QoS.BandwidthMbps > 0 {
+		clauses = append(clauses, fmt.Sprintf("minbw %gMbps", e.QoS.BandwidthMbps))
+	} else if e.QoS.MinBandwidth != "" {
+		clauses = append(clauses, "minbw "+string(e.QoS.MinBandwidth))
+	}
+	if e.QoS.MaxBandwidth != "" {
+		clauses = append(clauses, "maxbw "+string(e.QoS.MaxBandwidth))
+	}
+	if e.QoS.Latency != "" {
+		clauses = append(clauses, "latency "+string(e.QoS.Latency))
+	}
+	if e.QoS.Jitter != "" {
+		clauses = append(clauses, "jitter "+string(e.QoS.Jitter))
+	}
+	if !e.Cond.Window.IsAllDay() {
+		clauses = append(clauses, fmt.Sprintf("when time %d-%d", e.Cond.Window.Start, e.Cond.Window.End))
+	}
+	for _, sr := range sortedRanges(e.Cond.Stateful) {
+		switch {
+		case sr.r.Hi == policy.Unbounded && sr.r.Lo > 0:
+			clauses = append(clauses, fmt.Sprintf("when %s >= %d", sr.ev, sr.r.Lo))
+		case sr.r.Lo == 0 && sr.r.Hi != policy.Unbounded:
+			clauses = append(clauses, fmt.Sprintf("when %s < %d", sr.ev, sr.r.Hi))
+		case sr.r.Lo > 0 && sr.r.Hi != policy.Unbounded:
+			// A bounded range renders as the conjunction of two clauses.
+			clauses = append(clauses,
+				fmt.Sprintf("when %s >= %d", sr.ev, sr.r.Lo),
+				fmt.Sprintf("when %s < %d", sr.ev, sr.r.Hi))
+		}
+	}
+	if e.Default {
+		clauses = append(clauses, "default")
+	}
+	line := fmt.Sprintf("%s -> %s", e.Src, e.Dst)
+	if len(clauses) > 0 {
+		line += ": " + strings.Join(clauses, "; ")
+	}
+	return line
+}
+
+type evRange struct {
+	ev policy.Event
+	r  policy.CountRange
+}
+
+func sortedRanges(c policy.StatefulCond) []evRange {
+	out := make([]evRange, 0, len(c.Ranges))
+	for ev, r := range c.Ranges {
+		out = append(out, evRange{ev, r})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ev < out[j-1].ev; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func formatClassifier(c policy.Classifier) string {
+	proto := string(c.Proto)
+	if proto == "" {
+		proto = "any"
+	}
+	if len(c.Ports) == 0 {
+		return proto
+	}
+	parts := make([]string, len(c.Ports))
+	for i, p := range c.Ports {
+		parts[i] = strconv.Itoa(p)
+	}
+	return proto + "/" + strings.Join(parts, ",")
+}

@@ -1,0 +1,213 @@
+package intent
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"janus/internal/compose"
+	"janus/internal/policy"
+)
+
+const sample = `
+# QoS + stateful + temporal policy for the Marketing group
+graph web-qos weight 4
+
+epg Marketing labels Nml,Mktg
+epg Web labels Nml,Web
+
+Marketing -> Web: match tcp/80,443; chain LB; minbw 100Mbps; default
+Marketing -> Web: chain L-IDS,H-IDS; when failed-connections >= 5
+Marketing -> Web: minbw high; maxbw high; when time 9-18
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "web-qos" || g.Weight != 4 {
+		t.Errorf("header = %q weight %g", g.Name, g.Weight)
+	}
+	if len(g.EPGs) != 2 {
+		t.Fatalf("EPGs = %v", g.EPGs)
+	}
+	mktg, ok := g.EPGByName("Marketing")
+	if !ok || mktg.Key() != "Mktg&Nml" {
+		t.Errorf("Marketing EPG = %v", mktg)
+	}
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(g.Edges))
+	}
+	e0 := g.Edges[0]
+	if !e0.Default {
+		t.Error("first edge should be default")
+	}
+	if e0.Match.Proto != policy.TCP || len(e0.Match.Ports) != 2 {
+		t.Errorf("match = %v", e0.Match)
+	}
+	if !e0.Chain.Equal(policy.Chain{policy.LoadBalance}) {
+		t.Errorf("chain = %v", e0.Chain)
+	}
+	if e0.QoS.BandwidthMbps != 100 {
+		t.Errorf("bw = %v", e0.QoS.BandwidthMbps)
+	}
+	e1 := g.Edges[1]
+	if r := e1.Cond.Stateful.Ranges[policy.FailedConnections]; r.Lo != 5 {
+		t.Errorf("stateful = %v", e1.Cond.Stateful)
+	}
+	if !e1.Chain.Equal(policy.Chain{policy.LightIDS, policy.HeavyIDS}) {
+		t.Errorf("chain = %v", e1.Chain)
+	}
+	e2 := g.Edges[2]
+	if e2.Cond.Window != (policy.TimeWindow{Start: 9, End: 18}) {
+		t.Errorf("window = %v", e2.Cond.Window)
+	}
+	if e2.QoS.MinBandwidth != "high" || e2.QoS.MaxBandwidth != "high" {
+		t.Errorf("labels = %v", e2.QoS)
+	}
+}
+
+func TestParsedGraphComposes(t *testing.T) {
+	g, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := compose.New(nil).Compose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cg.Policies) != 1 {
+		t.Errorf("composed %d policies, want 1", len(cg.Policies))
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	g, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(g)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted output: %v\n%s", err, text)
+	}
+	if back.Name != g.Name || back.Weight != g.Weight {
+		t.Errorf("header drift: %q/%g vs %q/%g", back.Name, back.Weight, g.Name, g.Weight)
+	}
+	if len(back.EPGs) != len(g.EPGs) || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("structure drift: %d/%d EPGs, %d/%d edges",
+			len(back.EPGs), len(g.EPGs), len(back.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i].String() != back.Edges[i].String() {
+			t.Errorf("edge %d drift:\n  %s\n  %s", i, g.Edges[i], back.Edges[i])
+		}
+		if g.Edges[i].Default != back.Edges[i].Default {
+			t.Errorf("edge %d default flag drift", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line      int
+	}{
+		{"no header", "A -> B", 1},
+		{"dup header", "graph a\ngraph b", 2},
+		{"epg before header", "epg X", 1},
+		{"bad weight", "graph a weight nope", 1},
+		{"unknown graph attr", "graph a color red", 1},
+		{"epg no name", "graph a\nepg", 2},
+		{"unknown epg attr", "graph a\nepg X size 3", 2},
+		{"bad edge", "graph a\nA B", 2},
+		{"empty src", "graph a\n -> B", 2},
+		{"unknown clause", "graph a\nA -> B: teleport", 2},
+		{"bad proto", "graph a\nA -> B: match icmp", 2},
+		{"bad port", "graph a\nA -> B: match tcp/99999", 2},
+		{"empty chain", "graph a\nA -> B: chain", 2},
+		{"bad minbw", "graph a\nA -> B: minbw xMbps", 2},
+		{"empty maxbw", "graph a\nA -> B: maxbw", 2},
+		{"bad window", "graph a\nA -> B: when time 30-2", 2},
+		{"bad when", "graph a\nA -> B: when foo", 2},
+		{"bad comparison", "graph a\nA -> B: when failed-connections = 5", 2},
+		{"bad threshold", "graph a\nA -> B: when failed-connections >= x", 2},
+		{"default with arg", "graph a\nA -> B: default yes", 2},
+		{"unsat stateful", "graph a\nA -> B: when e >= 9; when e < 4", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.src)
+			}
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				if pe.Line != tc.line {
+					t.Errorf("error line = %d, want %d (%v)", pe.Line, tc.line, err)
+				}
+			}
+		})
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty source should fail (no header)")
+	}
+	// Validation failures surface too (self loop).
+	if _, err := Parse("graph a\nA -> A"); err == nil {
+		t.Error("self loop should fail validation")
+	}
+}
+
+func TestParseGreaterThan(t *testing.T) {
+	// "> 4" is the paper's phrasing (Fig 9b); it parses as >= 5.
+	g, err := Parse("graph a\nA -> B: when failed-connections > 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := g.Edges[0].Cond.Stateful.Ranges[policy.FailedConnections]; r.Lo != 5 {
+		t.Errorf("> 4 parsed as %v, want Lo=5", r)
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	src := "  graph a   # trailing comment\n\n   \n# full line comment\nA -> B: minbw low # another\n"
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 1 || g.Edges[0].QoS.MinBandwidth != "low" {
+		t.Errorf("parsed %v", g.Edges)
+	}
+}
+
+func TestFormatBoundedRange(t *testing.T) {
+	// A bounded stateful range formats as two clauses and round-trips.
+	g := policy.NewGraph("g")
+	cond, ok := policy.WhenAtLeast("e", 5).And(policy.WhenBelow("e", 9))
+	if !ok {
+		t.Fatal("condition should be satisfiable")
+	}
+	g.AddEdge(policy.Edge{Src: "A", Dst: "B", Cond: policy.Condition{Stateful: cond}})
+	text := Format(g)
+	if !strings.Contains(text, ">= 5") || !strings.Contains(text, "< 9") {
+		t.Errorf("bounded range formatting: %q", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := back.Edges[0].Cond.Stateful.Ranges["e"]; r.Lo != 5 || r.Hi != 9 {
+		t.Errorf("round trip range = %v", r)
+	}
+}
+
+func TestEdgeWithoutClauses(t *testing.T) {
+	g, err := Parse("graph a\nA -> B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 1 || !g.Edges[0].Cond.IsStatic() {
+		t.Errorf("bare edge = %v", g.Edges)
+	}
+}

@@ -1,0 +1,832 @@
+// Package lp implements a bounded-variable revised-simplex linear
+// programming solver. It stands in for the commercial solver (Gurobi) used
+// by the Janus paper: it supports the features the paper's configurator
+// relies on — warm starts from a previous basis (§5.4, §7.2) and dual
+// values for sensitivity analysis of bottleneck links (§5.6).
+//
+// The solver maximizes c·x subject to linear constraints and variable
+// bounds. Internally every constraint row gets one logical (slack)
+// variable, the basis inverse is kept dense and updated by elementary row
+// operations per pivot, with periodic reinversion for numerical stability.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x ≤ b
+	GE              // a·x ≥ b
+	EQ              // a·x = b
+)
+
+// Inf is the bound used for unbounded variables.
+var Inf = math.Inf(1)
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	nStruct int // structural variable count
+	lo, up  []float64
+	obj     []float64
+
+	rows  []row
+	sense []Sense
+	rhs   []float64
+}
+
+type row struct {
+	vars  []int
+	coefs []float64
+}
+
+// NewProblem returns an empty maximization problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// AddVariable adds a structural variable with bounds [lo, up] and objective
+// coefficient obj, returning its index.
+func (p *Problem) AddVariable(lo, up, obj float64) int {
+	if lo > up {
+		lo, up = up, lo
+	}
+	p.lo = append(p.lo, lo)
+	p.up = append(p.up, up)
+	p.obj = append(p.obj, obj)
+	p.nStruct++
+	return p.nStruct - 1
+}
+
+// AddBinary adds a [0,1] variable with the given objective coefficient.
+// (The MILP layer enforces integrality; at the LP layer it is continuous.)
+func (p *Problem) AddBinary(obj float64) int {
+	return p.AddVariable(0, 1, obj)
+}
+
+// NumVariables returns the structural variable count.
+func (p *Problem) NumVariables() int { return p.nStruct }
+
+// NumConstraints returns the row count.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective replaces the objective coefficient of a variable.
+func (p *Problem) SetObjective(v int, obj float64) error {
+	if v < 0 || v >= p.nStruct {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	p.obj[v] = obj
+	return nil
+}
+
+// SetBounds replaces a variable's bounds (used by branch & bound to fix
+// binaries).
+func (p *Problem) SetBounds(v int, lo, up float64) error {
+	if v < 0 || v >= p.nStruct {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	if lo > up {
+		return fmt.Errorf("lp: variable %d bounds inverted: [%g,%g]", v, lo, up)
+	}
+	p.lo[v], p.up[v] = lo, up
+	return nil
+}
+
+// Bounds returns a variable's bounds.
+func (p *Problem) Bounds(v int) (lo, up float64) { return p.lo[v], p.up[v] }
+
+// AddConstraint adds a row Σ terms (sense) rhs and returns its index.
+// Duplicate variables within one row are summed.
+func (p *Problem) AddConstraint(sense Sense, rhs float64, terms []Term) (int, error) {
+	merged := map[int]float64{}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.nStruct {
+			return 0, fmt.Errorf("lp: constraint references variable %d out of range", t.Var)
+		}
+		merged[t.Var] += t.Coef
+	}
+	r := row{vars: make([]int, 0, len(merged)), coefs: make([]float64, 0, len(merged))}
+	// Deterministic order: ascending variable index.
+	for v := range merged {
+		r.vars = append(r.vars, v)
+	}
+	sortInts(r.vars)
+	for _, v := range r.vars {
+		r.coefs = append(r.coefs, merged[v])
+	}
+	p.rows = append(p.rows, r)
+	p.sense = append(p.sense, sense)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rows) - 1, nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the structural variable values.
+	X []float64
+	// Duals holds one shadow price per constraint row (y in the simplex).
+	// Only meaningful at Optimal.
+	Duals []float64
+	// ReducedCosts holds d_j = c_j − y·A_j per structural variable.
+	ReducedCosts []float64
+	// Basis snapshots the final basis for warm starts.
+	Basis *Basis
+	// Iterations is the total simplex pivot count.
+	Iterations int
+}
+
+// Basis is an opaque snapshot of a simplex basis, used to warm-start a
+// subsequent solve on the same (or a slightly modified) problem.
+type Basis struct {
+	basic  []int  // row -> variable index (structural or logical)
+	status []int8 // variable -> nonbasicLower/nonbasicUpper/basic
+	n      int    // total variables when snapshotted
+	m      int    // rows when snapshotted
+}
+
+// Options control a solve.
+type Options struct {
+	// MaxIters bounds total pivots; 0 means a size-derived default.
+	MaxIters int
+	// WarmStart, when non-nil, seeds the solve with a previous basis.
+	WarmStart *Basis
+}
+
+const (
+	feasTol  = 1e-7
+	costTol  = 1e-7
+	pivotTol = 1e-9
+	// reinvertEvery triggers a fresh basis inversion to contain drift.
+	reinvertEvery = 120
+	// blandAfter switches to Bland's rule after this many non-improving
+	// pivots, guaranteeing termination under degeneracy.
+	blandAfter = 400
+)
+
+var errSingular = errors.New("lp: singular basis")
+
+// variable status codes
+const (
+	atLower int8 = iota
+	atUpper
+	inBasis
+)
+
+// Solve optimizes the problem. The problem may be re-solved after bound or
+// objective changes; pass the previous Solution.Basis in Options.WarmStart
+// to reuse it.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	s := newSimplex(p)
+	if opts.WarmStart != nil {
+		s.loadBasis(opts.WarmStart)
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 200*(s.m+s.n) + 20000
+	}
+	if err := s.reinvert(); err != nil {
+		// A singular warm basis is repaired by falling back to the
+		// all-logical basis.
+		s.resetBasis()
+		if err := s.reinvert(); err != nil {
+			return nil, err
+		}
+	}
+	s.computeBasics()
+
+	status := s.run(maxIters)
+	sol := s.extract(status)
+	return sol, nil
+}
+
+// simplex holds the working state of one solve.
+type simplex struct {
+	p *Problem
+	n int // structural count
+	m int // rows
+
+	// columns of the full matrix [A | I] indexed by variable; logical
+	// variable for row r is n+r.
+	lo, up []float64
+	obj    []float64
+
+	basic  []int  // row -> variable
+	status []int8 // variable -> status
+	binv   [][]float64
+	xB     []float64 // basic variable values
+
+	// CSC column index of the structural matrix.
+	colRows  [][]int32
+	colCoefs [][]float64
+
+	iters      int
+	sinceReinv int
+	nonImprove int
+	lastObj    float64
+}
+
+func newSimplex(p *Problem) *simplex {
+	n, m := p.nStruct, len(p.rows)
+	s := &simplex{p: p, n: n, m: m}
+	total := n + m
+	s.lo = make([]float64, total)
+	s.up = make([]float64, total)
+	s.obj = make([]float64, total)
+	copy(s.lo, p.lo)
+	copy(s.up, p.up)
+	copy(s.obj, p.obj)
+	for r := 0; r < m; r++ {
+		v := n + r
+		switch p.sense[r] {
+		case LE:
+			s.lo[v], s.up[v] = 0, Inf
+		case GE:
+			s.lo[v], s.up[v] = math.Inf(-1), 0
+		case EQ:
+			s.lo[v], s.up[v] = 0, 0
+		}
+	}
+	s.basic = make([]int, m)
+	s.status = make([]int8, total)
+	s.buildCols()
+	s.resetBasis()
+	return s
+}
+
+// resetBasis installs the all-logical basis with structural variables at
+// their finite bound nearest zero.
+func (s *simplex) resetBasis() {
+	for v := 0; v < s.n+s.m; v++ {
+		s.status[v] = atLower
+		if math.IsInf(s.lo[v], -1) {
+			s.status[v] = atUpper
+			if math.IsInf(s.up[v], 1) {
+				// Free variable: rest at zero via lower status with value 0.
+				s.status[v] = atLower
+			}
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		v := s.n + r
+		s.basic[r] = v
+		s.status[v] = inBasis
+	}
+}
+
+func (s *simplex) loadBasis(b *Basis) {
+	if b == nil || b.m != s.m || b.n > s.n+s.m {
+		return // incompatible snapshot; keep default basis
+	}
+	// Start from default statuses, then overlay the snapshot. Variables
+	// added after the snapshot keep their default status.
+	for v := 0; v < b.n && v < s.n+s.m; v++ {
+		s.status[v] = b.status[v]
+	}
+	used := make(map[int]bool, s.m)
+	for r := 0; r < s.m; r++ {
+		v := b.basic[r]
+		if v < 0 || v >= s.n+s.m || used[v] {
+			v = s.n + r // repair with the row's logical
+		}
+		used[v] = true
+		s.basic[r] = v
+		s.status[v] = inBasis
+	}
+	// Any variable marked basic but not in the basic list is demoted.
+	inB := make(map[int]bool, s.m)
+	for _, v := range s.basic {
+		inB[v] = true
+	}
+	for v := range s.status {
+		if s.status[v] == inBasis && !inB[v] {
+			s.status[v] = atLower
+			if math.IsInf(s.lo[v], -1) {
+				s.status[v] = atUpper
+			}
+		}
+	}
+}
+
+// buildCols constructs the CSC column index of the structural matrix.
+func (s *simplex) buildCols() {
+	s.colRows = make([][]int32, s.n)
+	s.colCoefs = make([][]float64, s.n)
+	counts := make([]int, s.n)
+	for r := range s.p.rows {
+		for _, v := range s.p.rows[r].vars {
+			counts[v]++
+		}
+	}
+	for v := 0; v < s.n; v++ {
+		s.colRows[v] = make([]int32, 0, counts[v])
+		s.colCoefs[v] = make([]float64, 0, counts[v])
+	}
+	for r := range s.p.rows {
+		rw := &s.p.rows[r]
+		for i, v := range rw.vars {
+			s.colRows[v] = append(s.colRows[v], int32(r))
+			s.colCoefs[v] = append(s.colCoefs[v], rw.coefs[i])
+		}
+	}
+}
+
+// colEntries iterates the sparse column of variable v as (row, coef).
+func (s *simplex) colEntries(v int, f func(r int, a float64)) {
+	if v >= s.n {
+		f(v-s.n, 1)
+		return
+	}
+	rows, coefs := s.colRows[v], s.colCoefs[v]
+	for i, r := range rows {
+		f(int(r), coefs[i])
+	}
+}
+
+// reinvert rebuilds binv from the current basic set by Gauss-Jordan
+// elimination with partial pivoting. Returns errSingular when the basis
+// columns are dependent.
+func (s *simplex) reinvert() error {
+	m := s.m
+	// Build dense basis matrix B (m×m): column r is the column of basic[r].
+	B := make([][]float64, m)
+	for i := range B {
+		B[i] = make([]float64, m)
+	}
+	for r := 0; r < m; r++ {
+		v := s.basic[r]
+		s.colEntries(v, func(i int, a float64) {
+			B[i][r] = a
+		})
+	}
+	inv := make([][]float64, m)
+	for i := range inv {
+		inv[i] = make([]float64, m)
+		inv[i][i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, best := -1, pivotTol
+		for i := col; i < m; i++ {
+			if a := math.Abs(B[i][col]); a > best {
+				piv, best = i, a
+			}
+		}
+		if piv < 0 {
+			return errSingular
+		}
+		B[col], B[piv] = B[piv], B[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		d := B[col][col]
+		for j := 0; j < m; j++ {
+			B[col][j] /= d
+			inv[col][j] /= d
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := B[i][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				B[i][j] -= f * B[col][j]
+				inv[i][j] -= f * inv[col][j]
+			}
+		}
+	}
+	s.binv = inv
+	s.sinceReinv = 0
+	return nil
+}
+
+// nonbasicValue returns the resting value of a nonbasic variable. Callers
+// only pass nonbasic variables, whose value is fully determined by their
+// bound status.
+func (s *simplex) nonbasicValue(v int) float64 {
+	if s.status[v] == atUpper {
+		return s.up[v]
+	}
+	if math.IsInf(s.lo[v], -1) {
+		return 0 // free variable resting at zero
+	}
+	return s.lo[v]
+}
+
+// computeBasics recomputes xB = B⁻¹ (b − N x_N).
+func (s *simplex) computeBasics() {
+	m := s.m
+	resid := make([]float64, m)
+	copy(resid, s.p.rhs)
+	for v := 0; v < s.n+s.m; v++ {
+		if s.status[v] == inBasis {
+			continue
+		}
+		x := s.nonbasicValue(v)
+		if x == 0 {
+			continue
+		}
+		s.colEntries(v, func(r int, a float64) {
+			resid[r] -= a * x
+		})
+	}
+	s.xB = make([]float64, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		bi := s.binv[i]
+		for k := 0; k < m; k++ {
+			sum += bi[k] * resid[k]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// infeasibility returns the total bound violation of the basic variables.
+func (s *simplex) infeasibility() float64 {
+	t := 0.0
+	for i, v := range s.basic {
+		if s.xB[i] < s.lo[v]-feasTol {
+			t += s.lo[v] - s.xB[i]
+		} else if s.xB[i] > s.up[v]+feasTol {
+			t += s.xB[i] - s.up[v]
+		}
+	}
+	return t
+}
+
+// run executes phase 1 (if needed) and phase 2, returning the final status.
+func (s *simplex) run(maxIters int) Status {
+	// Phase 1: drive out infeasibility.
+	for s.infeasibility() > feasTol {
+		if s.iters >= maxIters {
+			return IterLimit
+		}
+		progressed, unbounded := s.pivotOnce(true)
+		if unbounded {
+			// Unbounded phase-1 direction cannot happen with bounded
+			// logicals; treat as numerical trouble.
+			return Infeasible
+		}
+		if !progressed {
+			if s.infeasibility() > feasTol {
+				return Infeasible
+			}
+			break
+		}
+	}
+	// Phase 2: optimize the real objective.
+	s.nonImprove = 0
+	s.lastObj = math.Inf(-1)
+	for {
+		if s.iters >= maxIters {
+			return IterLimit
+		}
+		progressed, unbounded := s.pivotOnce(false)
+		if unbounded {
+			return Unbounded
+		}
+		if !progressed {
+			return Optimal
+		}
+	}
+}
+
+// phaseCost returns the working objective for the current phase.
+// Phase 1 maximizes the negative infeasibility, whose gradient w.r.t. each
+// basic variable is +1 below its lower bound and −1 above its upper bound.
+func (s *simplex) phaseCost(phase1 bool) []float64 {
+	if !phase1 {
+		return s.obj
+	}
+	c := make([]float64, s.n+s.m)
+	for i, v := range s.basic {
+		switch {
+		case s.xB[i] < s.lo[v]-feasTol:
+			c[v] = 1
+		case s.xB[i] > s.up[v]+feasTol:
+			c[v] = -1
+		}
+	}
+	return c
+}
+
+// pivotOnce performs one simplex iteration. It returns progressed=false
+// when no improving entering variable exists (optimality for the phase),
+// and unbounded=true when the entering direction is unbounded.
+func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
+	m := s.m
+	c := s.phaseCost(phase1)
+
+	// y = c_B · B⁻¹
+	y := make([]float64, m)
+	for k := 0; k < m; k++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			if cb := c[s.basic[i]]; cb != 0 {
+				sum += cb * s.binv[i][k]
+			}
+		}
+		y[k] = sum
+	}
+
+	bland := s.nonImprove >= blandAfter
+	enter, dir := -1, 0.0
+	bestScore := costTol
+	for v := 0; v < s.n+s.m; v++ {
+		st := s.status[v]
+		if st == inBasis {
+			continue
+		}
+		// Reduced cost d = c_v − y·A_v.
+		d := c[v]
+		s.colEntries(v, func(r int, a float64) {
+			d -= y[r] * a
+		})
+		var score float64
+		var dv float64
+		switch st {
+		case atLower:
+			// Increasing helps when d > 0. A variable resting at −∞ lower
+			// (free) may move either way.
+			if d > costTol {
+				score, dv = d, +1
+			} else if math.IsInf(s.lo[v], -1) && d < -costTol {
+				score, dv = -d, -1
+			}
+		case atUpper:
+			if d < -costTol {
+				score, dv = -d, -1
+			}
+		}
+		if dv == 0 {
+			continue
+		}
+		if bland {
+			enter, dir = v, dv
+			break
+		}
+		if score > bestScore {
+			bestScore, enter, dir = score, v, dv
+		}
+	}
+	if enter < 0 {
+		return false, false
+	}
+
+	// FTRAN: w = B⁻¹ A_enter.
+	w := make([]float64, m)
+	s.colEntries(enter, func(r int, a float64) {
+		if a == 0 {
+			return
+		}
+		for i := 0; i < m; i++ {
+			w[i] += s.binv[i][r] * a
+		}
+	})
+
+	// Ratio test: entering moves by t ≥ 0 in direction dir; basic i changes
+	// by −dir·w_i·t. In phase 1, a basic beyond a bound may travel back to
+	// that bound (restoring feasibility) but not through it.
+	tMax := s.up[enter] - s.lo[enter] // bound-to-bound flip distance
+	if math.IsInf(tMax, 1) {
+		tMax = Inf
+	}
+	leave, leaveTo := -1, int8(atLower)
+	t := tMax
+	for i := 0; i < m; i++ {
+		delta := -dir * w[i]
+		if math.Abs(delta) < pivotTol {
+			continue
+		}
+		v := s.basic[i]
+		x := s.xB[i]
+		var limit float64
+		var to int8
+		if delta > 0 {
+			// Basic increases toward its upper bound (or, if currently
+			// below lower, toward the lower bound first).
+			switch {
+			case x < s.lo[v]-feasTol:
+				limit, to = (s.lo[v]-x)/delta, atLower
+			case math.IsInf(s.up[v], 1):
+				continue
+			default:
+				limit, to = (s.up[v]-x)/delta, atUpper
+			}
+		} else {
+			switch {
+			case x > s.up[v]+feasTol:
+				limit, to = (s.up[v]-x)/delta, atUpper
+			case math.IsInf(s.lo[v], -1):
+				continue
+			default:
+				limit, to = (s.lo[v]-x)/delta, atLower
+			}
+		}
+		if limit < -feasTol {
+			limit = 0
+		}
+		if limit < t {
+			t, leave, leaveTo = limit, i, to
+		}
+	}
+
+	if math.IsInf(t, 1) {
+		return false, true // unbounded ray
+	}
+	if t < 0 {
+		t = 0
+	}
+
+	// Apply the step.
+	enterFrom := s.nonbasicValue(enter)
+	newEnterVal := enterFrom + dir*t
+	for i := 0; i < m; i++ {
+		s.xB[i] -= dir * w[i] * t
+	}
+
+	if leave < 0 {
+		// Bound flip: entering moves across to its other bound; basis
+		// unchanged.
+		if dir > 0 {
+			s.status[enter] = atUpper
+		} else {
+			s.status[enter] = atLower
+		}
+		s.iters++
+		s.trackProgress(phase1, t, bestScore)
+		return true, false
+	}
+
+	// Basis change: leave row `leave`, enter variable `enter`.
+	leavingVar := s.basic[leave]
+	s.status[leavingVar] = leaveTo
+	s.basic[leave] = enter
+	s.status[enter] = inBasis
+	s.xB[leave] = newEnterVal
+
+	// Update B⁻¹ by eliminating column `enter` (pivot on w[leave]).
+	piv := w[leave]
+	if math.Abs(piv) < pivotTol {
+		// Numerically bad pivot: reinvert and retry next iteration.
+		if err := s.reinvert(); err != nil {
+			s.resetBasis()
+			_ = s.reinvert()
+		}
+		s.computeBasics()
+		s.iters++
+		return true, false
+	}
+	br := s.binv[leave]
+	for j := 0; j < m; j++ {
+		br[j] /= piv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		bi := s.binv[i]
+		for j := 0; j < m; j++ {
+			bi[j] -= f * br[j]
+		}
+	}
+
+	s.iters++
+	s.sinceReinv++
+	if s.sinceReinv >= reinvertEvery {
+		if err := s.reinvert(); err == nil {
+			s.computeBasics()
+		}
+	}
+	s.trackProgress(phase1, t, bestScore)
+	return true, false
+}
+
+func (s *simplex) trackProgress(phase1 bool, step, score float64) {
+	improved := step*score > costTol*costTol
+	if improved {
+		s.nonImprove = 0
+	} else {
+		s.nonImprove++
+	}
+}
+
+// objective evaluates the real objective at the current point.
+func (s *simplex) objective() float64 {
+	total := 0.0
+	for v := 0; v < s.n; v++ {
+		total += s.obj[v] * s.value(v)
+	}
+	return total
+}
+
+func (s *simplex) value(v int) float64 {
+	if s.status[v] == inBasis {
+		for i, bv := range s.basic {
+			if bv == v {
+				return s.xB[i]
+			}
+		}
+		return 0
+	}
+	return s.nonbasicValue(v)
+}
+
+func (s *simplex) extract(status Status) *Solution {
+	sol := &Solution{Status: status, Iterations: s.iters}
+	sol.X = make([]float64, s.n)
+	// Map basics once for O(n+m) extraction.
+	pos := make(map[int]int, s.m)
+	for i, v := range s.basic {
+		pos[v] = i
+	}
+	for v := 0; v < s.n; v++ {
+		if i, ok := pos[v]; ok {
+			sol.X[v] = s.xB[i]
+		} else {
+			sol.X[v] = s.nonbasicValue(v)
+		}
+	}
+	if status == Optimal {
+		sol.Objective = s.objective()
+		// Duals: y = c_B B⁻¹ with the real objective.
+		y := make([]float64, s.m)
+		for k := 0; k < s.m; k++ {
+			sum := 0.0
+			for i := 0; i < s.m; i++ {
+				if cb := s.obj[s.basic[i]]; cb != 0 {
+					sum += cb * s.binv[i][k]
+				}
+			}
+			y[k] = sum
+		}
+		sol.Duals = y
+		sol.ReducedCosts = make([]float64, s.n)
+		for v := 0; v < s.n; v++ {
+			d := s.obj[v]
+			s.colEntries(v, func(r int, a float64) {
+				d -= y[r] * a
+			})
+			sol.ReducedCosts[v] = d
+		}
+	}
+	sol.Basis = &Basis{
+		basic:  append([]int(nil), s.basic...),
+		status: append([]int8(nil), s.status...),
+		n:      s.n + s.m,
+		m:      s.m,
+	}
+	return sol
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFreeVariable(t *testing.T) {
+	// max -x² style: free variable pinned by equality. x free, x + y = 3,
+	// y in [0,1], maximize -x → x = 2 (y at its max).
+	p := NewProblem()
+	x := p.AddVariable(math.Inf(-1), Inf, -1)
+	y := p.AddVariable(0, 1, 0)
+	mustRow(t, p, EQ, 3, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.X[x], 2) || !approx(sol.X[y], 1) {
+		t.Errorf("X = %v, want [2 1]", sol.X)
+	}
+}
+
+func TestFreeVariableBothDirections(t *testing.T) {
+	// A free variable must be able to go negative: max x with x + y = -2,
+	// y in [0,1] → best x = -2 with... maximize x: x = -2 - y → y = 0, x = -2.
+	p := NewProblem()
+	x := p.AddVariable(math.Inf(-1), Inf, 1)
+	y := p.AddVariable(0, 1, 0)
+	mustRow(t, p, EQ, -2, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[x], -2) {
+		t.Errorf("status=%v X=%v, want x=-2", sol.Status, sol.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -3 means x >= 3; minimize x (max -x) → x = 3.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	mustRow(t, p, LE, -3, []Term{{x, -1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[x], 3) {
+		t.Errorf("status=%v x=%v, want 3", sol.Status, sol.X[x])
+	}
+}
+
+func TestWarmStartAfterObjectiveChange(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, 1)
+	y := p.AddVariable(0, 10, 2)
+	mustRow(t, p, LE, 10, []Term{{x, 1}, {y, 1}})
+	first := solve(t, p)
+	if !approx(first.X[y], 10) {
+		t.Fatalf("first solve should favor y: %v", first.X)
+	}
+	// Flip the objective: now x dominates.
+	if err := p.SetObjective(x, 5); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Solve(Options{WarmStart: first.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", err, warm.Status)
+	}
+	if !approx(warm.X[x], 10) || !approx(warm.Objective, 50) {
+		t.Errorf("after objective change: X=%v obj=%v, want x=10 obj=50", warm.X, warm.Objective)
+	}
+}
+
+func TestWarmStartAfterNewConstraint(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, 1)
+	first := solve(t, p)
+	if !approx(first.X[x], 10) {
+		t.Fatal("unconstrained solve should hit the bound")
+	}
+	// Adding a row invalidates the basis shape (m changed); the solver
+	// must fall back gracefully.
+	mustRow(t, p, LE, 4, []Term{{x, 1}})
+	warm, err := p.Solve(Options{WarmStart: first.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve with new row: %v %v", err, warm.Status)
+	}
+	if !approx(warm.X[x], 4) {
+		t.Errorf("x = %v, want 4", warm.X[x])
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	// All variables fixed: pure feasibility check.
+	p := NewProblem()
+	x := p.AddVariable(2, 2, 1)
+	y := p.AddVariable(3, 3, 1)
+	mustRow(t, p, LE, 6, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 5) {
+		t.Errorf("status=%v obj=%v, want optimal 5", sol.Status, sol.Objective)
+	}
+	// Now fix infeasibly.
+	p2 := NewProblem()
+	a := p2.AddVariable(4, 4, 1)
+	b := p2.AddVariable(4, 4, 1)
+	mustRow(t, p2, LE, 6, []Term{{a, 1}, {b, 1}})
+	sol2 := solve(t, p2)
+	if sol2.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol2.Status)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem()
+	sol := solve(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Errorf("empty problem: %v %v", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroCoefficientRow(t *testing.T) {
+	// A row whose terms cancel (x - x <= 1) is trivially satisfiable.
+	p := NewProblem()
+	x := p.AddVariable(0, 5, 1)
+	mustRow(t, p, LE, 1, []Term{{x, 1}, {x, -1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[x], 5) {
+		t.Errorf("status=%v x=%v", sol.Status, sol.X[x])
+	}
+}
+
+func TestContradictoryZeroRow(t *testing.T) {
+	// 0 <= -1 is infeasible no matter what.
+	p := NewProblem()
+	x := p.AddVariable(0, 5, 1)
+	mustRow(t, p, LE, -1, []Term{{x, 1}, {x, -1}})
+	sol := solve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+// Stress: moderately sized random packing LPs all solve to optimality and
+// satisfy feasibility, exercising reinversion and anti-cycling paths.
+func TestRandomPackingStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		p := NewProblem()
+		n, m := 150, 60
+		type spec struct {
+			terms []Term
+			rhs   float64
+		}
+		var specs []spec
+		for i := 0; i < n; i++ {
+			p.AddVariable(0, 1, rng.Float64()*10)
+		}
+		for r := 0; r < m; r++ {
+			var terms []Term
+			for j := 0; j < 10; j++ {
+				terms = append(terms, Term{rng.Intn(n), 1 + rng.Float64()*5})
+			}
+			rhs := 5 + rng.Float64()*10
+			specs = append(specs, spec{terms, rhs})
+			mustRowB(p, LE, rhs, terms)
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		for _, s := range specs {
+			lhs := 0.0
+			// Terms may repeat a variable; AddConstraint merged them, so
+			// evaluate the raw sum the same way.
+			for _, term := range s.terms {
+				lhs += term.Coef * sol.X[term.Var]
+			}
+			if lhs > s.rhs+1e-5 {
+				t.Fatalf("trial %d: row violated: %v > %v", trial, lhs, s.rhs)
+			}
+		}
+	}
+}

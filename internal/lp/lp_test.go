@@ -1,0 +1,540 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-6
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(b)) }
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+	// Optimum at (4, 0): objective 12.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 3)
+	y := p.AddVariable(0, Inf, 2)
+	mustRow(t, p, LE, 4, []Term{{x, 1}, {y, 1}})
+	mustRow(t, p, LE, 6, []Term{{x, 1}, {y, 3}})
+	sol := solve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 12) {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if !approx(sol.X[x], 4) || !approx(sol.X[y], 0) {
+		t.Errorf("X = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 → optimum (4/3, 4/3), obj 8/3.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	y := p.AddVariable(0, Inf, 1)
+	mustRow(t, p, LE, 4, []Term{{x, 2}, {y, 1}})
+	mustRow(t, p, LE, 4, []Term{{x, 1}, {y, 2}})
+	sol := solve(t, p)
+	if !approx(sol.Objective, 8.0/3) {
+		t.Errorf("objective = %v, want 8/3", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, y <= 2 → (1,2), obj 5.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	y := p.AddVariable(0, 2, 2)
+	mustRow(t, p, EQ, 3, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 5) || !approx(sol.X[x], 1) || !approx(sol.X[y], 2) {
+		t.Errorf("obj=%v X=%v, want 5 [1 2]", sol.Objective, sol.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max -x s.t. x >= 3 → x = 3.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	mustRow(t, p, GE, 3, []Term{{x, 1}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[x], 3) {
+		t.Errorf("status=%v X=%v, want x=3", sol.Status, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot both hold.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	mustRow(t, p, LE, 1, []Term{{x, 1}})
+	mustRow(t, p, GE, 2, []Term{{x, 1}})
+	sol := solve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	// x + y = 5 with x,y ∈ [0,1] is infeasible.
+	p := NewProblem()
+	x := p.AddBinary(1)
+	y := p.AddBinary(1)
+	mustRow(t, p, EQ, 5, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with no constraints binding upward.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	y := p.AddVariable(0, Inf, 0)
+	mustRow(t, p, GE, 0, []Term{{x, 1}, {y, 1}})
+	sol := solve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestBoundedVariablesOnly(t *testing.T) {
+	// No constraints: optimum at upper bounds of positive-cost variables.
+	p := NewProblem()
+	x := p.AddVariable(0, 5, 2)
+	y := p.AddVariable(1, 4, -1)
+	sol := solve(t, p)
+	if !approx(sol.X[x], 5) || !approx(sol.X[y], 1) {
+		t.Errorf("X = %v, want [5 1]", sol.X)
+	}
+	if !approx(sol.Objective, 9) {
+		t.Errorf("objective = %v, want 9", sol.Objective)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// max -x with x in [-3, 7] → x = -3.
+	p := NewProblem()
+	x := p.AddVariable(-3, 7, -1)
+	sol := solve(t, p)
+	if !approx(sol.X[x], -3) {
+		t.Errorf("X = %v, want -3", sol.X[x])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degeneracy: multiple constraints intersecting at one vertex.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	y := p.AddVariable(0, Inf, 1)
+	mustRow(t, p, LE, 1, []Term{{x, 1}})
+	mustRow(t, p, LE, 1, []Term{{y, 1}})
+	mustRow(t, p, LE, 2, []Term{{x, 1}, {y, 1}})
+	mustRow(t, p, LE, 2, []Term{{x, 2}, {y, 2}})
+	sol := solve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 1) {
+		t.Errorf("status=%v obj=%v, want optimal 1", sol.Status, sol.Objective)
+	}
+}
+
+func TestDualsOnKnapsackLP(t *testing.T) {
+	// max 3a + 2b s.t. a + b <= 10, a,b in [0,8].
+	// Optimum a=8, b=2, obj 28. Dual of the knapsack row = 2 (the marginal
+	// item's rate), binding the capacity.
+	p := NewProblem()
+	a := p.AddVariable(0, 8, 3)
+	b := p.AddVariable(0, 8, 2)
+	r := mustRow(t, p, LE, 10, []Term{{a, 1}, {b, 1}})
+	sol := solve(t, p)
+	if !approx(sol.Objective, 28) {
+		t.Fatalf("objective = %v, want 28", sol.Objective)
+	}
+	if !approx(sol.Duals[r], 2) {
+		t.Errorf("dual = %v, want 2", sol.Duals[r])
+	}
+	// Reduced cost of a at its upper bound: c_a − y = 1.
+	if !approx(sol.ReducedCosts[a], 1) {
+		t.Errorf("reduced cost a = %v, want 1", sol.ReducedCosts[a])
+	}
+}
+
+func TestWarmStartFewerIterations(t *testing.T) {
+	build := func() *Problem {
+		rng := rand.New(rand.NewSource(42))
+		p := NewProblem()
+		n := 60
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = p.AddVariable(0, 1, rng.Float64())
+		}
+		for r := 0; r < 25; r++ {
+			terms := make([]Term, 0, 8)
+			for j := 0; j < 8; j++ {
+				terms = append(terms, Term{vars[rng.Intn(n)], 1 + rng.Float64()})
+			}
+			mustRowB(p, LE, 3, terms)
+		}
+		return p
+	}
+	p := build()
+	cold, err := p.Solve(Options{})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold solve: %v %v", err, cold.Status)
+	}
+	// Re-solve the same problem warm: should need (near) zero pivots.
+	warm, err := p.Solve(Options{WarmStart: cold.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", err, warm.Status)
+	}
+	if !approx(warm.Objective, cold.Objective) {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+	if warm.Iterations > cold.Iterations/2 {
+		t.Errorf("warm start took %d iters vs cold %d; expected large reduction",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, 1)
+	y := p.AddVariable(0, 10, 1)
+	mustRow(t, p, LE, 12, []Term{{x, 1}, {y, 1}})
+	first := solve(t, p)
+	if !approx(first.Objective, 12) {
+		t.Fatalf("objective = %v, want 12", first.Objective)
+	}
+	// Fix x to 0 (as branch & bound would) and re-solve warm.
+	if err := p.SetBounds(x, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Solve(Options{WarmStart: first.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", err, warm.Status)
+	}
+	if !approx(warm.Objective, 10) {
+		t.Errorf("after fixing x: objective = %v, want 10", warm.Objective)
+	}
+	if !approx(warm.X[x], 0) {
+		t.Errorf("x = %v, want 0", warm.X[x])
+	}
+	_ = y
+}
+
+func TestIncompatibleWarmBasisIgnored(t *testing.T) {
+	p1 := NewProblem()
+	x := p1.AddVariable(0, 1, 1)
+	mustRow(t, p1, LE, 1, []Term{{x, 1}})
+	s1 := solve(t, p1)
+
+	p2 := NewProblem()
+	a := p2.AddVariable(0, 2, 1)
+	b := p2.AddVariable(0, 2, 1)
+	mustRow(t, p2, LE, 3, []Term{{a, 1}, {b, 1}})
+	mustRow(t, p2, LE, 2, []Term{{a, 1}})
+	sol, err := p2.Solve(Options{WarmStart: s1.Basis})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve with foreign basis: %v %v", err, sol.Status)
+	}
+	if !approx(sol.Objective, 3) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestDuplicateTermsMerged(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	// x + x <= 4 means 2x <= 4.
+	mustRow(t, p, LE, 4, []Term{{x, 1}, {x, 1}})
+	sol := solve(t, p)
+	if !approx(sol.X[x], 2) {
+		t.Errorf("X = %v, want 2", sol.X[x])
+	}
+}
+
+func TestConstraintVarOutOfRange(t *testing.T) {
+	p := NewProblem()
+	if _, err := p.AddConstraint(LE, 1, []Term{{5, 1}}); err == nil {
+		t.Error("out-of-range variable should error")
+	}
+	if err := p.SetBounds(3, 0, 1); err == nil {
+		t.Error("SetBounds out of range should error")
+	}
+	if err := p.SetObjective(3, 1); err == nil {
+		t.Error("SetObjective out of range should error")
+	}
+	if err := p.SetBounds(p.AddBinary(0), 2, 1); err == nil {
+		t.Error("inverted bounds should error")
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem()
+	n := 40
+	for i := 0; i < n; i++ {
+		p.AddVariable(0, 1, rng.Float64())
+	}
+	for r := 0; r < 20; r++ {
+		terms := make([]Term, 0, 6)
+		for j := 0; j < 6; j++ {
+			terms = append(terms, Term{rng.Intn(n), 1})
+		}
+		mustRowB(p, LE, 2, terms)
+	}
+	sol, err := p.Solve(Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit && sol.Status != Optimal {
+		t.Errorf("status = %v, want iteration-limit (or trivially optimal)", sol.Status)
+	}
+}
+
+// Property: the LP relaxation of a knapsack equals the greedy fractional
+// knapsack value.
+func TestKnapsackLPMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func() bool {
+		n := rng.Intn(8) + 2
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*9
+		}
+		capacity := 1 + rng.Float64()*20
+
+		p := NewProblem()
+		terms := make([]Term, n)
+		for i := 0; i < n; i++ {
+			v := p.AddVariable(0, 1, values[i])
+			terms[i] = Term{v, weights[i]}
+		}
+		mustRowB(p, LE, capacity, terms)
+		sol, err := p.Solve(Options{})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+
+		// Greedy fractional knapsack.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return values[idx[a]]/weights[idx[a]] > values[idx[b]]/weights[idx[b]]
+		})
+		remaining, greedy := capacity, 0.0
+		for _, i := range idx {
+			if weights[i] <= remaining {
+				greedy += values[i]
+				remaining -= weights[i]
+			} else {
+				greedy += values[i] * remaining / weights[i]
+				break
+			}
+		}
+		return approx(sol.Objective, greedy)
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LP max-flow equals Ford-Fulkerson on small random graphs.
+func TestMaxFlowLPMatchesFordFulkerson(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(5) + 3 // 3..7 nodes; node 0 source, n-1 sink
+		capMat := make([][]float64, n)
+		for i := range capMat {
+			capMat[i] = make([]float64, n)
+			for j := range capMat[i] {
+				if i != j && rng.Float64() < 0.5 {
+					capMat[i][j] = float64(rng.Intn(9) + 1)
+				}
+			}
+		}
+		want := fordFulkerson(copyMat(capMat), 0, n-1)
+
+		// LP: flow variable per arc; conservation at internal nodes;
+		// maximize outflow of source minus inflow.
+		p := NewProblem()
+		varOf := make(map[[2]int]int)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if capMat[i][j] > 0 {
+					varOf[[2]int{i, j}] = p.AddVariable(0, capMat[i][j], 0)
+				}
+			}
+		}
+		for arc, v := range varOf {
+			if arc[0] == 0 {
+				if err := p.SetObjective(v, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if arc[1] == 0 {
+				if err := p.SetObjective(v, -1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for node := 1; node < n-1; node++ {
+			var terms []Term
+			for arc, v := range varOf {
+				if arc[1] == node {
+					terms = append(terms, Term{v, 1})
+				}
+				if arc[0] == node {
+					terms = append(terms, Term{v, -1})
+				}
+			}
+			if len(terms) > 0 {
+				mustRowB(p, EQ, 0, terms)
+			}
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("trial %d: solve failed: %v %v", trial, err, sol.Status)
+		}
+		if !approx(sol.Objective, want) {
+			t.Fatalf("trial %d: LP max flow %v != FF %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+func fordFulkerson(capMat [][]float64, s, t int) float64 {
+	n := len(capMat)
+	total := 0.0
+	for {
+		// BFS for an augmenting path.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] < 0 && capMat[u][v] > 1e-12 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return total
+		}
+		aug := math.Inf(1)
+		for v := t; v != s; v = parent[v] {
+			aug = math.Min(aug, capMat[parent[v]][v])
+		}
+		for v := t; v != s; v = parent[v] {
+			capMat[parent[v]][v] -= aug
+			capMat[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func copyMat(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+// Property: for random feasible LPs with bounded variables, the reported
+// solution satisfies all constraints and bounds.
+func TestSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		p := NewProblem()
+		n := rng.Intn(10) + 2
+		m := rng.Intn(8) + 1
+		for i := 0; i < n; i++ {
+			p.AddVariable(0, float64(rng.Intn(5)+1), rng.NormFloat64())
+		}
+		type rowSpec struct {
+			sense Sense
+			rhs   float64
+			terms []Term
+		}
+		var specs []rowSpec
+		for r := 0; r < m; r++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					terms = append(terms, Term{j, float64(rng.Intn(5) + 1)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// rhs large enough that x=0 is feasible for LE rows.
+			spec := rowSpec{LE, float64(rng.Intn(20) + 1), terms}
+			specs = append(specs, spec)
+			mustRowB(p, spec.sense, spec.rhs, spec.terms)
+		}
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v (x=0 is feasible, must be optimal)", trial, sol.Status)
+		}
+		for i := 0; i < n; i++ {
+			lo, up := p.Bounds(i)
+			if sol.X[i] < lo-1e-5 || sol.X[i] > up+1e-5 {
+				t.Fatalf("trial %d: x[%d]=%v out of [%v,%v]", trial, i, sol.X[i], lo, up)
+			}
+		}
+		for _, spec := range specs {
+			lhs := 0.0
+			for _, term := range spec.terms {
+				lhs += term.Coef * sol.X[term.Var]
+			}
+			if lhs > spec.rhs+1e-5 {
+				t.Fatalf("trial %d: constraint violated: %v > %v", trial, lhs, spec.rhs)
+			}
+		}
+	}
+}
+
+func mustRow(t *testing.T, p *Problem, s Sense, rhs float64, terms []Term) int {
+	t.Helper()
+	r, err := p.AddConstraint(s, rhs, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustRowB(p *Problem, s Sense, rhs float64, terms []Term) {
+	if _, err := p.AddConstraint(s, rhs, terms); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,509 @@
+// Package milp implements a branch-and-bound solver for mixed 0/1 integer
+// linear programs on top of the internal/lp simplex. Together they replace
+// the commercial ILP solver (Gurobi) the Janus paper uses: the policy
+// configurator formulates Eqns 1–10 as a 0/1 program and solves it here,
+// both in "full ILP" mode (all candidate paths) and in "Janus heuristic"
+// mode (a random subset of paths), so the paper's ILP-vs-heuristic
+// comparisons exercise one consistent solver.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"janus/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent is proven optimal within RelGap.
+	Optimal Status = iota
+	// Feasible means an incumbent exists but limits stopped the proof.
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the relaxation is unbounded.
+	Unbounded
+	// Limit means a node/time limit was hit with no incumbent.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options control a branch-and-bound run.
+type Options struct {
+	// MaxNodes bounds explored nodes; 0 means 200000.
+	MaxNodes int
+	// TimeLimit bounds wall time; 0 means none.
+	TimeLimit time.Duration
+	// RelGap is the relative optimality gap at which search stops;
+	// 0 means 1e-6.
+	RelGap float64
+	// Branching selects the branching rule.
+	Branching BranchRule
+	// BranchPriority, when non-nil, restricts branching to the fractional
+	// variables of the highest priority present (then applies the rule).
+	// Janus uses this to branch on policy indicators (I_i) before path
+	// indicators (P_{i,p}): fixing a group decision prunes far more of the
+	// tree than fixing one path.
+	BranchPriority map[int]int
+	// StallNodes, when positive, stops the search after this many nodes
+	// without incumbent improvement (reporting Feasible). Weak-bound
+	// models otherwise burn the whole time budget proving nothing.
+	StallNodes int
+	// MIPStart, when non-nil, proposes 0/1 values for integer variables;
+	// if the proposal is feasible (checked by an LP solve with those
+	// fixings) it becomes the initial incumbent, enabling pruning from the
+	// first node.
+	MIPStart map[int]float64
+	// WarmStart seeds the root relaxation.
+	WarmStart *lp.Basis
+}
+
+// BranchRule selects how the branching variable is chosen.
+type BranchRule int
+
+// Branching rules.
+const (
+	// MostFractional branches on the binary whose LP value is nearest 0.5.
+	MostFractional BranchRule = iota
+	// PseudoCost uses accumulated per-variable degradation estimates,
+	// falling back to most-fractional before data accumulates.
+	PseudoCost
+)
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Bound is the best proven upper bound on the objective.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// LPIterations accumulates simplex pivots across all node solves.
+	LPIterations int
+	// RootDuals holds the dual values of the root LP relaxation, used for
+	// sensitivity analysis (§5.6 ranks bottleneck links by shadow price).
+	RootDuals []float64
+	// RootBasis snapshots the root relaxation basis for warm restarts.
+	RootBasis *lp.Basis
+}
+
+const intTol = 1e-6
+
+// Solver runs branch and bound over an lp.Problem with a designated set of
+// integer (binary) variables. The Problem is mutated during the solve
+// (bound changes) but restored before returning.
+type Solver struct {
+	prob     *lp.Problem
+	integers []int
+	// saved bounds for restoration
+	savedLo, savedUp []float64
+
+	// pseudocost state
+	pcUp, pcDown     []float64
+	pcUpN, pcDownN   []int
+	pseudoCostsReady bool
+}
+
+// NewSolver wraps a problem whose listed variables must take 0/1 values.
+func NewSolver(prob *lp.Problem, integers []int) *Solver {
+	return &Solver{prob: prob, integers: append([]int(nil), integers...)}
+}
+
+type node struct {
+	// fixings applied relative to the root: var -> value (0 or 1)
+	fixings map[int]float64
+	bound   float64 // parent LP objective (upper bound for this node)
+	basis   *lp.Basis
+	depth   int
+}
+
+// Solve runs branch and bound.
+func (s *Solver) Solve(opts Options) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	relGap := opts.RelGap
+	if relGap <= 0 {
+		relGap = 1e-6
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	s.saveBounds()
+	defer s.restoreBounds()
+	nInt := len(s.integers)
+	s.pcUp = make([]float64, nInt)
+	s.pcDown = make([]float64, nInt)
+	s.pcUpN = make([]int, nInt)
+	s.pcDownN = make([]int, nInt)
+	intIndex := make(map[int]int, nInt)
+	for i, v := range s.integers {
+		intIndex[v] = i
+	}
+
+	sol := &Solution{Status: Limit, Objective: math.Inf(-1), Bound: math.Inf(1)}
+
+	// Root relaxation.
+	root, err := s.solveLP(nil, opts.WarmStart)
+	if err != nil {
+		return nil, err
+	}
+	sol.LPIterations += root.Iterations
+	switch root.Status {
+	case lp.Infeasible:
+		sol.Status = Infeasible
+		return sol, nil
+	case lp.Unbounded:
+		sol.Status = Unbounded
+		return sol, nil
+	case lp.IterLimit:
+		sol.Status = Limit
+		return sol, nil
+	}
+	sol.RootDuals = root.Duals
+	sol.RootBasis = root.Basis
+	sol.Bound = root.Objective
+
+	var incumbent []float64
+	incObj := math.Inf(-1)
+	lastImprove := 0
+	accept := func(x []float64, obj float64) {
+		if obj > incObj {
+			incObj = obj
+			incumbent = append([]float64(nil), x...)
+			lastImprove = sol.Nodes
+		}
+	}
+
+	// Seed the incumbent: the caller's MIP start first, then rounding
+	// heuristics on the root relaxation.
+	if opts.MIPStart != nil {
+		if res, err := s.solveLP(opts.MIPStart, nil); err == nil && res.Status == lp.Optimal && s.isIntegral(res.X) {
+			accept(res.X, res.Objective)
+		}
+	}
+	if x, obj, ok := s.roundAndRepair(root.X); ok {
+		accept(x, obj)
+	}
+	if x, obj, ok := s.greedyIncumbent(root.X); ok {
+		accept(x, obj)
+	}
+
+	// DFS stack (dive-first keeps warm starts effective: each child solves
+	// from its parent's basis with one bound change).
+	stack := []*node{{fixings: map[int]float64{}, bound: root.Objective, basis: root.Basis}}
+	if frac := s.pickBranch(root.X, opts, intIndex); frac >= 0 {
+		// Root is fractional; replace the root node with its two children.
+		stack = s.children(stack[0], frac, root.X[frac])
+	} else if root.Status == lp.Optimal {
+		// Root is integral: done.
+		accept(root.X, root.Objective)
+		sol.Status = Optimal
+		sol.Objective = incObj
+		sol.X = incumbent
+		sol.Bound = root.Objective
+		sol.Nodes = 1
+		return sol, nil
+	}
+
+	gapOK := func(bound float64) bool {
+		if math.IsInf(incObj, -1) {
+			return false
+		}
+		denom := math.Max(1, math.Abs(incObj))
+		return (bound-incObj)/denom <= relGap
+	}
+
+	for len(stack) > 0 {
+		if sol.Nodes >= maxNodes {
+			break
+		}
+		if opts.StallNodes > 0 && incumbent != nil && sol.Nodes-lastImprove >= opts.StallNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if gapOK(nd.bound) || nd.bound <= incObj+1e-9 {
+			continue // pruned by bound
+		}
+		res, err := s.solveLP(nd.fixings, nd.basis)
+		if err != nil {
+			return nil, err
+		}
+		sol.Nodes++
+		sol.LPIterations += res.Iterations
+		if res.Status == lp.Infeasible {
+			continue
+		}
+		if res.Status != lp.Optimal {
+			continue // iteration limit at a node: drop it conservatively
+		}
+		if res.Objective <= incObj+1e-9 {
+			continue
+		}
+		frac := s.pickBranch(res.X, opts, intIndex)
+		if frac < 0 {
+			accept(res.X, res.Objective)
+			continue
+		}
+		// Update pseudocosts with the parent-child degradation.
+		if i, ok := intIndex[frac]; ok {
+			s.observeDegradation(i, nd, res.Objective)
+		}
+		// Round for incumbents: every node early on (cheap and it is what
+		// enables aggressive pruning), then periodically.
+		if sol.Nodes < 64 || sol.Nodes%16 == 1 {
+			if x, obj, ok := s.roundAndRepair(res.X); ok {
+				accept(x, obj)
+			}
+		}
+		stack = append(stack, s.children(&node{
+			fixings: nd.fixings, bound: res.Objective, basis: res.Basis, depth: nd.depth,
+		}, frac, res.X[frac])...)
+	}
+
+	// Final bound: max over remaining open nodes and the incumbent.
+	bound := incObj
+	for _, nd := range stack {
+		if nd.bound > bound {
+			bound = nd.bound
+		}
+	}
+	if math.IsInf(bound, -1) {
+		bound = sol.Bound
+	}
+	sol.Bound = bound
+
+	if incumbent == nil {
+		if sol.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			sol.Status = Limit
+		} else {
+			sol.Status = Infeasible
+		}
+		return sol, nil
+	}
+	sol.Objective = incObj
+	sol.X = incumbent
+	if len(stack) == 0 || gapOK(bound) {
+		sol.Status = Optimal
+	} else {
+		sol.Status = Feasible
+	}
+	return sol, nil
+}
+
+// children builds the two child nodes of branching variable v with LP value
+// x, ordering them so the more promising child is explored first (dive
+// toward the nearer integer).
+func (s *Solver) children(parent *node, v int, x float64) []*node {
+	mk := func(val float64) *node {
+		f := make(map[int]float64, len(parent.fixings)+1)
+		for k, fv := range parent.fixings {
+			f[k] = fv
+		}
+		f[v] = val
+		return &node{fixings: f, bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
+	}
+	up, down := mk(1), mk(0)
+	// Stack is LIFO: push the preferred child last.
+	if x >= 0.5 {
+		return []*node{down, up}
+	}
+	return []*node{up, down}
+}
+
+// solveLP applies the fixings, solves, and restores bounds.
+func (s *Solver) solveLP(fixings map[int]float64, warm *lp.Basis) (*lp.Solution, error) {
+	for v, val := range fixings {
+		if err := s.prob.SetBounds(v, val, val); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.prob.Solve(lp.Options{WarmStart: warm})
+	for v := range fixings {
+		if err2 := s.restoreVar(v); err2 != nil && err == nil {
+			err = err2
+		}
+	}
+	return res, err
+}
+
+func (s *Solver) saveBounds() {
+	n := s.prob.NumVariables()
+	s.savedLo = make([]float64, n)
+	s.savedUp = make([]float64, n)
+	for v := 0; v < n; v++ {
+		s.savedLo[v], s.savedUp[v] = s.prob.Bounds(v)
+	}
+}
+
+func (s *Solver) restoreBounds() {
+	for v := range s.savedLo {
+		_ = s.prob.SetBounds(v, s.savedLo[v], s.savedUp[v])
+	}
+}
+
+func (s *Solver) restoreVar(v int) error {
+	return s.prob.SetBounds(v, s.savedLo[v], s.savedUp[v])
+}
+
+// pickBranch returns the integer variable to branch on, or -1 when the
+// point is integral on all integer variables.
+func (s *Solver) pickBranch(x []float64, opts Options, intIndex map[int]int) int {
+	rule := opts.Branching
+	// Restrict to the highest branch priority with a fractional variable.
+	maxPrio := 0
+	if opts.BranchPriority != nil {
+		found := false
+		for _, v := range s.integers {
+			f := frac(x[v])
+			if f <= intTol || f >= 1-intTol {
+				continue
+			}
+			if p := opts.BranchPriority[v]; !found || p > maxPrio {
+				maxPrio, found = p, true
+			}
+		}
+	}
+	best, bestScore := -1, -1.0
+	for _, v := range s.integers {
+		if opts.BranchPriority != nil && opts.BranchPriority[v] != maxPrio {
+			continue
+		}
+		f := frac(x[v])
+		if f <= intTol || f >= 1-intTol {
+			continue
+		}
+		var score float64
+		switch rule {
+		case PseudoCost:
+			i := intIndex[v]
+			if s.pcUpN[i]+s.pcDownN[i] >= 2 {
+				up := pcAvg(s.pcUp[i], s.pcUpN[i])
+				down := pcAvg(s.pcDown[i], s.pcDownN[i])
+				// Product rule: balance both directions.
+				score = math.Max(up*(1-f), 1e-9) * math.Max(down*f, 1e-9)
+			} else {
+				score = 0.5 - math.Abs(f-0.5) // fallback
+			}
+		default:
+			score = 0.5 - math.Abs(f-0.5)
+		}
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+func (s *Solver) observeDegradation(i int, parent *node, childObj float64) {
+	deg := parent.bound - childObj
+	if deg < 0 {
+		deg = 0
+	}
+	// Direction is unknown at this point (the child carries it); attribute
+	// to both accumulators, which is a usable symmetric approximation.
+	s.pcUp[i] += deg
+	s.pcUpN[i]++
+	s.pcDown[i] += deg
+	s.pcDownN[i]++
+}
+
+func pcAvg(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// roundAndRepair rounds integer variables of a fractional point and
+// re-solves the continuous rest; it returns ok=false when the rounding is
+// infeasible.
+func (s *Solver) roundAndRepair(x []float64) ([]float64, float64, bool) {
+	fixings := make(map[int]float64, len(s.integers))
+	for _, v := range s.integers {
+		if x[v] >= 0.5 {
+			fixings[v] = 1
+		} else {
+			fixings[v] = 0
+		}
+	}
+	res, err := s.solveLP(fixings, nil)
+	if err != nil || res.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	// The continuous re-solve may have moved other integer variables to
+	// fractional values; verify.
+	for _, v := range s.integers {
+		if f := frac(res.X[v]); f > intTol && f < 1-intTol {
+			return nil, 0, false
+		}
+	}
+	return res.X, res.Objective, true
+}
+
+// isIntegral reports whether every integer variable is 0/1 in x.
+func (s *Solver) isIntegral(x []float64) bool {
+	for _, v := range s.integers {
+		if f := frac(x[v]); f > intTol && f < 1-intTol {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyIncumbent floor-rounds the fractional point (only variables already
+// at 1 stay 1) and repairs; it complements roundAndRepair when
+// nearest-rounding is infeasible.
+func (s *Solver) greedyIncumbent(x []float64) ([]float64, float64, bool) {
+	fixings := make(map[int]float64, len(s.integers))
+	for _, v := range s.integers {
+		if x[v] >= 1-intTol {
+			fixings[v] = 1
+		} else {
+			fixings[v] = 0
+		}
+	}
+	res, err := s.solveLP(fixings, nil)
+	if err != nil || res.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	for _, v := range s.integers {
+		if f := frac(res.X[v]); f > intTol && f < 1-intTol {
+			return nil, 0, false
+		}
+	}
+	return res.X, res.Objective, true
+}
+
+func frac(v float64) float64 {
+	return v - math.Floor(v)
+}

@@ -1,0 +1,333 @@
+// Package runtime glues the Janus configurator to the simulated dataplane
+// and drives the system dynamics of §2.2: endpoint mobility and membership
+// changes, policy-graph churn, temporal period transitions, and stateful
+// condition triggers that reroute flows onto pre-reserved escalation paths
+// without re-solving the optimization.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"janus/internal/compose"
+	"janus/internal/core"
+	"janus/internal/dataplane"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// Metrics accumulates the disruption counters the paper's evaluation
+// reports: path changes (Fig 14, Table 5), rule updates, switches touched,
+// and NF state transfers (§2.2).
+type Metrics struct {
+	Reconfigurations int
+	PathChanges      int
+	RulesInstalled   int
+	RulesUpdated     int
+	RulesRemoved     int
+	SwitchesTouched  int
+	NFStateTransfers int
+	StatefulReroutes int
+}
+
+// Runtime is a live Janus instance: a configurator, its current result, and
+// the dataplane it keeps in sync.
+type Runtime struct {
+	conf    *core.Configurator
+	graph   *compose.Graph
+	topo    *topo.Topology
+	net     *dataplane.Network
+	adapter *dataplane.GraphAdapter
+
+	hour     int
+	current  *core.Result
+	counters map[string]map[policy.Event]int // per-flow event counters
+	metrics  Metrics
+}
+
+// New starts a runtime at hour 0 with an initial configuration.
+func New(conf *core.Configurator) (*Runtime, error) {
+	r := &Runtime{
+		conf:     conf,
+		graph:    conf.Graph(),
+		topo:     conf.Topology(),
+		net:      dataplane.NewNetwork(conf.Topology()),
+		adapter:  dataplane.NewGraphAdapter(conf.Graph()),
+		counters: map[string]map[policy.Event]int{},
+	}
+	res, err := conf.Configure(0)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: initial configuration: %w", err)
+	}
+	r.install(res)
+	return r, nil
+}
+
+// Metrics returns the accumulated disruption counters.
+func (r *Runtime) Metrics() Metrics { return r.metrics }
+
+// Current returns the active configuration result.
+func (r *Runtime) Current() *core.Result { return r.current }
+
+// Network returns the simulated dataplane for inspection.
+func (r *Runtime) Network() *dataplane.Network { return r.net }
+
+// Hour returns the runtime's current hour of day.
+func (r *Runtime) Hour() int { return r.hour }
+
+func (r *Runtime) install(res *core.Result) {
+	if r.current != nil {
+		r.metrics.PathChanges += core.CountPathChanges(r.current, res)
+		r.metrics.Reconfigurations++
+	}
+	rules := dataplane.CompileRules(r.topo, r.adapter, res)
+	rep := r.net.Apply(rules, res.Assignments)
+	r.metrics.RulesInstalled += rep.RulesInstalled
+	r.metrics.RulesUpdated += rep.RulesUpdated
+	r.metrics.RulesRemoved += rep.RulesRemoved
+	r.metrics.SwitchesTouched += rep.SwitchesTouched
+	r.metrics.NFStateTransfers += rep.NFStateTransfers
+	r.current = res
+}
+
+// MoveEndpoint relocates an endpoint and reconfigures incrementally
+// (warm start + path-change penalty, §5.4).
+func (r *Runtime) MoveEndpoint(name string, to topo.NodeID) error {
+	if err := r.topo.MoveEndpoint(name, to); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	return r.reconfigure()
+}
+
+// RelabelEndpoint changes an endpoint's group membership and reconfigures.
+func (r *Runtime) RelabelEndpoint(name string, labels ...string) error {
+	if err := r.topo.RelabelEndpoint(name, labels...); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	return r.reconfigure()
+}
+
+// AddEndpoint attaches a new endpoint and reconfigures (membership growth).
+func (r *Runtime) AddEndpoint(name string, at topo.NodeID, labels ...string) error {
+	if err := r.topo.AddEndpoint(name, at, labels...); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	return r.reconfigure()
+}
+
+func (r *Runtime) reconfigure() error {
+	res, err := r.conf.Reconfigure(r.current)
+	if err != nil {
+		return fmt.Errorf("runtime: reconfiguring: %w", err)
+	}
+	r.install(res)
+	return nil
+}
+
+// FailLink removes a link from the topology and reconfigures with
+// path-change minimization: only flows whose paths crossed the failed link
+// should move (§8: "handle this in a manner similar to §5.4"). The
+// reconfiguration keeps valid previous paths via the ρ penalty; paths that
+// used the failed link are no longer candidates and reroute.
+func (r *Runtime) FailLink(a, b topo.NodeID) error {
+	if err := r.topo.RemoveLink(a, b); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	r.conf.InvalidatePaths()
+	return r.reconfigure()
+}
+
+// AdvanceTo moves the clock to hour h; if the composed graph changes
+// periods in between, each boundary's configuration is applied in order.
+func (r *Runtime) AdvanceTo(h int) error {
+	if h < 0 || h >= policy.HoursPerDay {
+		return fmt.Errorf("runtime: hour %d out of range", h)
+	}
+	periods := r.graph.Periods()
+	// Collect boundaries crossed while walking forward from r.hour to h.
+	cur := r.hour
+	for cur != h {
+		cur = (cur + 1) % policy.HoursPerDay
+		if containsInt(periods, cur) {
+			res, err := r.conf.ReconfigureAt(r.current, cur)
+			if err != nil {
+				return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
+			}
+			r.install(res)
+		}
+	}
+	r.hour = h
+	return nil
+}
+
+// ReportEvent increments a flow's event counter (e.g. a failed connection
+// observed at an IDS) and, when a stateful policy's escalation condition
+// fires, reroutes the flow onto its pre-reserved escalation path without
+// re-solving (§5.3: "it could reserve paths for changed policy beforehand
+// ... no other policy will have to change its path").
+func (r *Runtime) ReportEvent(src, dst string, ev policy.Event, delta int) error {
+	flow := src + "->" + dst
+	if r.counters[flow] == nil {
+		r.counters[flow] = map[policy.Event]int{}
+	}
+	r.counters[flow][ev] += delta
+
+	// Find the composed policy for this endpoint pair.
+	pid, p := r.policyFor(src, dst)
+	if p == nil {
+		return fmt.Errorf("runtime: no policy covers flow %s", flow)
+	}
+	edge, ok := compose.ActiveEdge(p, r.hour, r.counters[flow])
+	if !ok {
+		return nil // no active edge: traffic dropped by policy
+	}
+	edgeIdx := indexOfEdge(p, edge)
+	if edgeIdx <= 0 {
+		return nil // default edge active; nothing to reroute
+	}
+	// Locate the reserved soft assignment for this (policy, edge, pair).
+	for _, a := range r.current.Assignments {
+		if a.Policy == pid && a.EdgeIdx == edgeIdx && a.Src == src && a.Dst == dst {
+			// Promote the reservation to installed rules for this flow.
+			promoted := *r.current
+			promoted.Assignments = append([]core.Assignment(nil), r.current.Assignments...)
+			for i := range promoted.Assignments {
+				pa := &promoted.Assignments[i]
+				if pa.Policy == pid && pa.Src == src && pa.Dst == dst {
+					if pa.EdgeIdx == edgeIdx {
+						pa.Role = core.HardEdge
+					} else if pa.Role == core.HardEdge {
+						pa.Role = core.SoftEdge // demote the old default path
+					}
+				}
+			}
+			r.metrics.StatefulReroutes++
+			r.install(&promoted)
+			return nil
+		}
+	}
+	// No reservation (ξ was 1): a full reconfiguration is needed.
+	return r.reconfigure()
+}
+
+func (r *Runtime) policyFor(src, dst string) (int, *compose.Policy) {
+	srcEP, ok := r.topo.EndpointByName(src)
+	if !ok {
+		return -1, nil
+	}
+	dstEP, ok := r.topo.EndpointByName(dst)
+	if !ok {
+		return -1, nil
+	}
+	srcSet := labelSet(srcEP.Labels)
+	dstSet := labelSet(dstEP.Labels)
+	for _, p := range r.graph.Policies {
+		if covers(srcSet, p.Src) && covers(dstSet, p.Dst) {
+			return p.ID, p
+		}
+	}
+	return -1, nil
+}
+
+// UpdateGraph swaps in a new composed policy graph (graph churn, §2.2) and
+// reconfigures with path-change minimization against the previous state.
+func (r *Runtime) UpdateGraph(g *compose.Graph, cfg core.Config) error {
+	conf, err := core.New(r.topo, g, cfg)
+	if err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	r.conf = conf
+	r.graph = g
+	r.adapter = dataplane.NewGraphAdapter(g)
+	return r.reconfigure()
+}
+
+// Verify walks every configured hard assignment through the dataplane and
+// returns the flows whose forwarding does not reach the destination or
+// skips a required middlebox — the end-to-end check that installed rules
+// actually realize the intent.
+func (r *Runtime) Verify() []string {
+	var problems []string
+	for _, a := range r.current.Assignments {
+		if a.Role != core.HardEdge {
+			continue
+		}
+		p := r.graph.PolicyByID(a.Policy)
+		if p == nil {
+			continue
+		}
+		edges := p.AllEdges()
+		if a.EdgeIdx >= len(edges) {
+			continue
+		}
+		e := edges[a.EdgeIdx]
+		proto, port := sampleTraffic(e.Match)
+		walk, err := r.net.Lookup(a.Src, a.Dst, proto, port)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", a.Key(), err))
+			continue
+		}
+		// Chain check: required NF kinds must appear along the walk in
+		// order.
+		prog := 0
+		for _, n := range walk {
+			if prog < len(e.Chain) && r.topo.Nodes[n].Kind == topo.NFBox &&
+				r.topo.Nodes[n].NF == e.Chain[prog] {
+				prog++
+			}
+		}
+		if prog != len(e.Chain) {
+			problems = append(problems,
+				fmt.Sprintf("%s: chain %s not traversed (walk %v)", a.Key(), e.Chain, walk))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func sampleTraffic(c policy.Classifier) (policy.Protocol, int) {
+	proto := c.Proto
+	if proto == "" || proto == policy.Any {
+		proto = policy.TCP
+	}
+	port := 80
+	if len(c.Ports) > 0 {
+		port = c.Ports[0]
+	}
+	return proto, port
+}
+
+func labelSet(ls []string) map[string]bool {
+	m := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		m[l] = true
+	}
+	return m
+}
+
+func covers(have map[string]bool, epg policy.EPG) bool {
+	for _, l := range epg.Labels {
+		if !have[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOfEdge(p *compose.Policy, e policy.Edge) int {
+	for i, cand := range p.AllEdges() {
+		if cand.String() == e.String() {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsInt(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,323 @@
+package runtime
+
+import (
+	"testing"
+
+	"janus/internal/compose"
+	"janus/internal/core"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// statefulSetup builds a diamond topology with an H-IDS on one branch and a
+// stateful policy "Clients->Web, escalate via H-IDS at >=5 failed
+// connections".
+func statefulSetup(t *testing.T) (*topo.Topology, *compose.Graph, *core.Configurator) {
+	t.Helper()
+	tp := topo.NewTopology("rt")
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	mid := tp.AddSwitch("mid")
+	hids := tp.AddNF("hids", policy.HeavyIDS)
+	link := func(x, y topo.NodeID) {
+		t.Helper()
+		if err := tp.AddLink(x, y, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(a, b)
+	link(a, mid)
+	link(mid, hids)
+	link(hids, b)
+	link(mid, b)
+	if err := tp.AddEndpoint("c1", a, "Clients"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("srv", b, "Web"); err != nil {
+		t.Fatal(err)
+	}
+	g := policy.NewGraph("g")
+	g.AddEdge(policy.Edge{Src: "Clients", Dst: "Web", Default: true,
+		QoS: policy.QoS{BandwidthMbps: 10}})
+	g.AddEdge(policy.Edge{Src: "Clients", Dst: "Web",
+		Chain: policy.Chain{policy.HeavyIDS},
+		QoS:   policy.QoS{BandwidthMbps: 10},
+		Cond:  policy.Condition{Stateful: policy.WhenAtLeast(policy.FailedConnections, 5)}})
+	cg, err := compose.New(nil).Compose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := core.New(tp, cg, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, cg, conf
+}
+
+func TestRuntimeInitialInstall(t *testing.T) {
+	_, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Current() == nil || r.Current().SatisfiedCount() != 1 {
+		t.Fatal("initial configuration should satisfy the policy")
+	}
+	if r.Network().RuleCount() == 0 {
+		t.Error("rules should be installed")
+	}
+	if problems := r.Verify(); len(problems) != 0 {
+		t.Errorf("verification problems: %v", problems)
+	}
+	if r.Metrics().Reconfigurations != 0 {
+		t.Error("initial install is not a reconfiguration")
+	}
+}
+
+func TestStatefulTriggerUsesReservedPath(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the threshold: no reroute.
+	for i := 0; i < 4; i++ {
+		if err := r.ReportEvent("c1", "srv", policy.FailedConnections, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Metrics().StatefulReroutes != 0 {
+		t.Error("no reroute expected below threshold")
+	}
+	// Fifth failure crosses >=5: the flow must move onto the reserved
+	// H-IDS path without a full reconfiguration.
+	if err := r.ReportEvent("c1", "srv", policy.FailedConnections, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics().StatefulReroutes != 1 {
+		t.Errorf("reroutes = %d, want 1", r.Metrics().StatefulReroutes)
+	}
+	// Traffic now traverses the H-IDS.
+	walk, err := r.Network().Lookup("c1", "srv", policy.TCP, 80)
+	if err != nil {
+		t.Fatalf("lookup after escalation: %v", err)
+	}
+	sawIDS := false
+	for _, n := range walk {
+		if tp.Nodes[n].Kind == topo.NFBox && tp.Nodes[n].NF == policy.HeavyIDS {
+			sawIDS = true
+		}
+	}
+	if !sawIDS {
+		t.Errorf("escalated walk %v skips H-IDS", walk)
+	}
+}
+
+func TestMobilityReconfigures(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the client to mid; the policy must be re-satisfied from there.
+	var midID topo.NodeID
+	for _, n := range tp.Nodes {
+		if n.Name == "mid" {
+			midID = n.ID
+		}
+	}
+	if err := r.MoveEndpoint("c1", midID); err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics().Reconfigurations != 1 {
+		t.Errorf("reconfigurations = %d, want 1", r.Metrics().Reconfigurations)
+	}
+	if r.Current().SatisfiedCount() != 1 {
+		t.Error("policy should remain satisfied after the move")
+	}
+	if problems := r.Verify(); len(problems) != 0 {
+		t.Errorf("verification problems after move: %v", problems)
+	}
+}
+
+func TestMembershipChange(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aID topo.NodeID
+	for _, n := range tp.Nodes {
+		if n.Name == "a" {
+			aID = n.ID
+		}
+	}
+	// Add a second client: the group grows, the policy must now cover both
+	// pairs.
+	if err := r.AddEndpoint("c2", aID, "Clients"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, asg := range r.Current().Assignments {
+		if asg.Src == "c2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new member c2 has no configured path")
+	}
+	// Remove c1 from the group.
+	if err := r.RelabelEndpoint("c1", "Guests"); err != nil {
+		t.Fatal(err)
+	}
+	for _, asg := range r.Current().Assignments {
+		if asg.Src == "c1" {
+			t.Error("relabelled endpoint still has assignments")
+		}
+	}
+}
+
+func TestAdvanceToTemporalBoundary(t *testing.T) {
+	// Policy via FW 9-18, via BC otherwise.
+	tp := topo.NewTopology("t")
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	fw := tp.AddNF("fw", policy.Firewall)
+	bc := tp.AddNF("bc", policy.ByteCounter)
+	link := func(x, y topo.NodeID) {
+		t.Helper()
+		if err := tp.AddLink(x, y, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(a, fw)
+	link(fw, b)
+	link(a, bc)
+	link(bc, b)
+	if err := tp.AddEndpoint("c1", a, "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("srv", b, "S"); err != nil {
+		t.Fatal(err)
+	}
+	g := policy.NewGraph("g")
+	g.AddEdge(policy.Edge{Src: "C", Dst: "S", Chain: policy.Chain{policy.ByteCounter},
+		QoS:  policy.QoS{BandwidthMbps: 5},
+		Cond: policy.Condition{Window: policy.TimeWindow{Start: 18, End: 9}}})
+	g.AddEdge(policy.Edge{Src: "C", Dst: "S", Chain: policy.Chain{policy.Firewall},
+		QoS:  policy.QoS{BandwidthMbps: 5},
+		Cond: policy.Condition{Window: policy.TimeWindow{Start: 9, End: 18}}})
+	cg, err := compose.New(nil).Compose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := core.New(tp, cg, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfOnWalk := func() policy.NFKind {
+		t.Helper()
+		walk, err := r.Network().Lookup("c1", "srv", policy.TCP, 80)
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		for _, n := range walk {
+			if tp.Nodes[n].Kind == topo.NFBox {
+				return tp.Nodes[n].NF
+			}
+		}
+		return ""
+	}
+	if got := nfOnWalk(); got != policy.ByteCounter {
+		t.Errorf("at 0h traffic via %s, want BC", got)
+	}
+	if err := r.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := nfOnWalk(); got != policy.Firewall {
+		t.Errorf("at 10h traffic via %s, want FW", got)
+	}
+	if r.Hour() != 10 {
+		t.Errorf("hour = %d, want 10", r.Hour())
+	}
+	if err := r.AdvanceTo(30); err == nil {
+		t.Error("hour out of range should error")
+	}
+}
+
+func TestUpdateGraphChurn(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New graph adds a byte-counter requirement — but no BC box exists, so
+	// the policy becomes unsatisfiable; the runtime must still converge.
+	g := policy.NewGraph("g2")
+	g.AddEdge(policy.Edge{Src: "Clients", Dst: "Web",
+		Chain: policy.Chain{policy.ByteCounter},
+		QoS:   policy.QoS{BandwidthMbps: 10}})
+	cg, err := compose.New(nil).Compose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UpdateGraph(cg, core.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Current().SatisfiedCount() != 0 {
+		t.Error("BC chain is unsatisfiable on this topology")
+	}
+	_ = tp
+}
+
+func TestReportEventUnknownFlow(t *testing.T) {
+	_, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReportEvent("nope", "srv", policy.FailedConnections, 1); err == nil {
+		t.Error("unknown flow should error")
+	}
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default path is the direct a-b link; fail it and verify the flow
+	// reroutes through mid while the policy stays satisfied.
+	var aID, bID topo.NodeID
+	for _, n := range tp.Nodes {
+		switch n.Name {
+		case "a":
+			aID = n.ID
+		case "b":
+			bID = n.ID
+		}
+	}
+	if err := r.FailLink(aID, bID); err != nil {
+		t.Fatal(err)
+	}
+	if r.Current().SatisfiedCount() != 1 {
+		t.Error("policy should survive the link failure via the mid path")
+	}
+	walk, err := r.Network().Lookup("c1", "srv", policy.TCP, 80)
+	if err != nil {
+		t.Fatalf("lookup after failure: %v", err)
+	}
+	for i := 0; i+1 < len(walk); i++ {
+		if (walk[i] == aID && walk[i+1] == bID) || (walk[i] == bID && walk[i+1] == aID) {
+			t.Errorf("walk %v still uses the failed link", walk)
+		}
+	}
+	if err := r.FailLink(aID, bID); err == nil {
+		t.Error("failing the same link twice should error")
+	}
+}

@@ -1,0 +1,418 @@
+// Package server exposes Janus as an HTTP controller, realizing the Fig 7
+// architecture: policy writers (or SDN applications) submit intent graphs
+// to the northbound API, Janus composes and configures them, and the
+// southbound state — flow rules per switch — is queryable by a control
+// platform. Runtime events (mobility, membership changes, stateful
+// counters, temporal ticks, link failures) arrive as POSTs and trigger the
+// §5.4 incremental reconfiguration machinery.
+//
+//	PUT    /graphs/{name}        submit or replace a policy graph
+//	                             (JSON, or the intent language with
+//	                             Content-Type: text/plain)
+//	DELETE /graphs/{name}        remove a writer's graph
+//	GET    /graphs               list submitted graphs
+//	GET    /composed             the composed policy graph summary
+//	POST   /configure            (re)compose and configure; returns summary
+//	GET    /config               current configuration (assignments, links)
+//	GET    /rules                per-switch flow rules
+//	GET    /metrics              disruption counters
+//	POST   /events/move          {"endpoint": "...", "to": 3}
+//	POST   /events/relabel       {"endpoint": "...", "labels": ["..."]}
+//	POST   /events/counter       {"src": "...", "dst": "...", "event": "...", "delta": 1}
+//	POST   /events/hour          {"hour": 9}
+//	POST   /events/linkfail      {"from": 1, "to": 2}
+//
+// All handlers are safe for concurrent use; state is guarded by one mutex
+// (configuration solves dominate, so finer locking buys nothing).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"janus/internal/compose"
+	"janus/internal/core"
+	"janus/internal/dataplane"
+	"janus/internal/intent"
+	"janus/internal/policy"
+	"janus/internal/runtime"
+	"janus/internal/topo"
+)
+
+// Server is the Janus HTTP controller.
+type Server struct {
+	mu     sync.Mutex
+	topo   *topo.Topology
+	cfg    core.Config
+	graphs map[string]*policy.Graph
+	rt     *runtime.Runtime // nil until the first successful /configure
+	mux    *http.ServeMux
+}
+
+// New builds a controller for the given topology and solver configuration.
+func New(t *topo.Topology, cfg core.Config) (*Server, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		topo:   t,
+		cfg:    cfg,
+		graphs: map[string]*policy.Graph{},
+		mux:    http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/graphs/", s.handleGraph)
+	s.mux.HandleFunc("/graphs", s.handleGraphList)
+	s.mux.HandleFunc("/composed", s.handleComposed)
+	s.mux.HandleFunc("/configure", s.handleConfigure)
+	s.mux.HandleFunc("/config", s.handleConfig)
+	s.mux.HandleFunc("/rules", s.handleRules)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/events/move", s.handleMove)
+	s.mux.HandleFunc("/events/relabel", s.handleRelabel)
+	s.mux.HandleFunc("/events/counter", s.handleCounter)
+	s.mux.HandleFunc("/events/hour", s.handleHour)
+	s.mux.HandleFunc("/events/linkfail", s.handleLinkFail)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "graph name missing in path")
+		return
+	}
+	switch r.Method {
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		var g *policy.Graph
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "text/plain") {
+			g, err = intent.Parse(string(body))
+		} else {
+			g = &policy.Graph{}
+			err = json.Unmarshal(body, g)
+		}
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		g.Name = name
+		if err := g.Validate(); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		s.graphs[name] = g
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"graph": name, "edges": len(g.Edges)})
+	case http.MethodDelete:
+		s.mu.Lock()
+		_, existed := s.graphs[name]
+		delete(s.graphs, name)
+		s.mu.Unlock()
+		if !existed {
+			httpError(w, http.StatusNotFound, "graph %q not found", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use PUT or DELETE")
+	}
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": names})
+}
+
+func (s *Server) composeLocked() (*compose.Graph, error) {
+	inputs := make([]*policy.Graph, 0, len(s.graphs))
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		inputs = append(inputs, s.graphs[n])
+	}
+	return compose.New(s.cfg.Scheme).Compose(inputs...)
+}
+
+func (s *Server) handleComposed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	cg, err := s.composeLocked()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	type policySummary struct {
+		ID      int      `json:"id"`
+		Src     string   `json:"src"`
+		Dst     string   `json:"dst"`
+		Edges   int      `json:"edges"`
+		Writers []string `json:"writers"`
+	}
+	out := struct {
+		Policies  []policySummary `json:"policies"`
+		Conflicts []string        `json:"conflicts,omitempty"`
+		Periods   []int           `json:"periods"`
+	}{Periods: cg.Periods()}
+	for _, p := range cg.Policies {
+		out.Policies = append(out.Policies, policySummary{
+			ID: p.ID, Src: p.Src.Key(), Dst: p.Dst.Key(),
+			Edges: 1 + len(p.NonDefault), Writers: p.Writers,
+		})
+	}
+	for _, c := range cg.Conflicts {
+		out.Conflicts = append(out.Conflicts, c.String())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cg, err := s.composeLocked()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if s.rt == nil {
+		conf, err := core.New(s.topo, cg, s.cfg)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		rt, err := runtime.New(conf)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.rt = rt
+	} else if err := s.rt.UpdateGraph(cg, s.cfg); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	res := s.rt.Current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"satisfied": res.SatisfiedCount(),
+		"policies":  len(res.Configured),
+		"status":    res.Status.String(),
+	})
+}
+
+// requireRuntime returns the runtime or writes a 409.
+func (s *Server) requireRuntime(w http.ResponseWriter) *runtime.Runtime {
+	if s.rt == nil {
+		httpError(w, http.StatusConflict, "no configuration yet; POST /configure first")
+		return nil
+	}
+	return s.rt
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.requireRuntime(w)
+	if rt == nil {
+		return
+	}
+	res := rt.Current()
+	type asg struct {
+		Policy int     `json:"policy"`
+		Src    string  `json:"src"`
+		Dst    string  `json:"dst"`
+		Path   string  `json:"path"`
+		BW     float64 `json:"bwMbps"`
+		Role   string  `json:"role"`
+	}
+	out := struct {
+		Period      int            `json:"period"`
+		Satisfied   int            `json:"satisfied"`
+		Configured  map[int]bool   `json:"configured"`
+		Assignments []asg          `json:"assignments"`
+		Links       []core.LinkUse `json:"links"`
+	}{Period: res.Period, Satisfied: res.SatisfiedCount(), Configured: res.Configured, Links: res.Links}
+	for _, a := range res.Assignments {
+		role := "hard"
+		if a.Role == core.SoftEdge {
+			role = "reserved"
+		}
+		out.Assignments = append(out.Assignments, asg{
+			Policy: a.Policy, Src: a.Src, Dst: a.Dst,
+			Path: a.Path.Key(), BW: a.BW, Role: role,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.requireRuntime(w)
+	if rt == nil {
+		return
+	}
+	out := map[string][]dataplane.Rule{}
+	for _, sw := range rt.Network().Switches() {
+		rules := rt.Network().RulesAt(sw)
+		if len(rules) > 0 {
+			out[fmt.Sprint(sw)] = rules
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.requireRuntime(w)
+	if rt == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Metrics())
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Endpoint string      `json:"endpoint"`
+		To       topo.NodeID `json:"to"`
+	}
+	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+		return rt.MoveEndpoint(req.Endpoint, req.To)
+	})
+}
+
+func (s *Server) handleRelabel(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Endpoint string   `json:"endpoint"`
+		Labels   []string `json:"labels"`
+	}
+	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+		return rt.RelabelEndpoint(req.Endpoint, req.Labels...)
+	})
+}
+
+func (s *Server) handleCounter(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Src   string `json:"src"`
+		Dst   string `json:"dst"`
+		Event string `json:"event"`
+		Delta int    `json:"delta"`
+	}
+	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+		delta := req.Delta
+		if delta == 0 {
+			delta = 1
+		}
+		return rt.ReportEvent(req.Src, req.Dst, policy.Event(req.Event), delta)
+	})
+}
+
+func (s *Server) handleHour(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Hour int `json:"hour"`
+	}
+	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+		return rt.AdvanceTo(req.Hour)
+	})
+}
+
+func (s *Server) handleLinkFail(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		From topo.NodeID `json:"from"`
+		To   topo.NodeID `json:"to"`
+	}
+	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+		return rt.FailLink(req.From, req.To)
+	})
+}
+
+// eventHandler decodes the request into req and applies the event under
+// the lock, returning the updated satisfaction summary.
+func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, apply func(*runtime.Runtime) error) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.requireRuntime(w)
+	if rt == nil {
+		return
+	}
+	if err := apply(rt); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	res := rt.Current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"satisfied":   res.SatisfiedCount(),
+		"policies":    len(res.Configured),
+		"pathChanges": rt.Metrics().PathChanges,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

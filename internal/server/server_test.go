@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"janus/internal/core"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// testServer builds a controller over a diamond topology with an H-IDS.
+func testServer(t *testing.T) (*httptest.Server, *topo.Topology) {
+	t.Helper()
+	tp := topo.NewTopology("srv")
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	mid := tp.AddSwitch("mid")
+	hids := tp.AddNF("hids", policy.HeavyIDS)
+	link := func(x, y topo.NodeID) {
+		t.Helper()
+		if err := tp.AddLink(x, y, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(a, b)
+	link(a, mid)
+	link(mid, hids)
+	link(hids, b)
+	link(mid, b)
+	if err := tp.AddEndpoint("c1", a, "Clients"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("srv1", b, "Web"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(tp, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, tp
+}
+
+func do(t *testing.T, method, url, contentType, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+const intentBody = `graph ignored
+Clients -> Web: minbw 20Mbps; default
+Clients -> Web: chain H-IDS; minbw 20Mbps; when failed-connections >= 5
+`
+
+func TestSubmitConfigureQuery(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Submit an intent-language graph.
+	code, body := do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	if code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	// List.
+	code, body = do(t, http.MethodGet, ts.URL+"/graphs", "", "")
+	if code != http.StatusOK || len(body["graphs"].([]any)) != 1 {
+		t.Fatalf("GET graphs: %d %v", code, body)
+	}
+	// Composed summary.
+	code, body = do(t, http.MethodGet, ts.URL+"/composed", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET composed: %d %v", code, body)
+	}
+	if n := len(body["policies"].([]any)); n != 1 {
+		t.Fatalf("composed policies = %d, want 1", n)
+	}
+	// Configure.
+	code, body = do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("POST configure: %d %v", code, body)
+	}
+	if sat := body["satisfied"].(float64); sat != 1 {
+		t.Fatalf("satisfied = %v, want 1", sat)
+	}
+	// Config details.
+	code, body = do(t, http.MethodGet, ts.URL+"/config", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET config: %d %v", code, body)
+	}
+	if asgs := body["assignments"].([]any); len(asgs) < 2 {
+		t.Fatalf("want hard + reserved assignments, got %v", asgs)
+	}
+	// Rules present.
+	code, body = do(t, http.MethodGet, ts.URL+"/rules", "", "")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("GET rules: %d %v", code, body)
+	}
+}
+
+func TestSubmitJSONGraph(t *testing.T) {
+	ts, _ := testServer(t)
+	g := policy.NewGraph("x")
+	g.AddEdge(policy.Edge{Src: "Clients", Dst: "Web", QoS: policy.QoS{BandwidthMbps: 5}})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodPut, ts.URL+"/graphs/x", "application/json", string(data))
+	if code != http.StatusOK {
+		t.Fatalf("PUT json graph: %d %v", code, body)
+	}
+}
+
+func TestEventFlow(t *testing.T) {
+	ts, tp := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	code, _ := do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	if code != http.StatusOK {
+		t.Fatal("configure failed")
+	}
+
+	// Stateful counter event escalates onto the reserved path.
+	for i := 0; i < 5; i++ {
+		code, body := do(t, http.MethodPost, ts.URL+"/events/counter", "application/json",
+			`{"src":"c1","dst":"srv1","event":"failed-connections","delta":1}`)
+		if code != http.StatusOK {
+			t.Fatalf("counter event: %d %v", code, body)
+		}
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET metrics: %d %v", code, body)
+	}
+	if body["StatefulReroutes"].(float64) != 1 {
+		t.Errorf("StatefulReroutes = %v, want 1", body["StatefulReroutes"])
+	}
+
+	// Mobility.
+	var mid topo.NodeID
+	for _, n := range tp.Nodes {
+		if n.Name == "mid" {
+			mid = n.ID
+		}
+	}
+	code, body = do(t, http.MethodPost, ts.URL+"/events/move", "application/json",
+		fmt.Sprintf(`{"endpoint":"c1","to":%d}`, mid))
+	if code != http.StatusOK {
+		t.Fatalf("move event: %d %v", code, body)
+	}
+	if body["satisfied"].(float64) != 1 {
+		t.Errorf("policy lost after move: %v", body)
+	}
+
+	// Temporal tick.
+	code, _ = do(t, http.MethodPost, ts.URL+"/events/hour", "application/json", `{"hour":12}`)
+	if code != http.StatusOK {
+		t.Fatal("hour event failed")
+	}
+
+	// Link failure between a and b.
+	var a, b topo.NodeID
+	for _, n := range tp.Nodes {
+		switch n.Name {
+		case "a":
+			a = n.ID
+		case "b":
+			b = n.ID
+		}
+	}
+	code, body = do(t, http.MethodPost, ts.URL+"/events/linkfail", "application/json",
+		fmt.Sprintf(`{"from":%d,"to":%d}`, a, b))
+	if code != http.StatusOK {
+		t.Fatalf("linkfail event: %d %v", code, body)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := testServer(t)
+	// Events before configure → 409.
+	code, _ := do(t, http.MethodPost, ts.URL+"/events/hour", "application/json", `{"hour":2}`)
+	if code != http.StatusConflict {
+		t.Errorf("event before configure: %d, want 409", code)
+	}
+	// Bad intent → 422.
+	code, _ = do(t, http.MethodPut, ts.URL+"/graphs/bad", "text/plain", "not a graph")
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("bad intent: %d, want 422", code)
+	}
+	// Bad JSON → 422.
+	code, _ = do(t, http.MethodPut, ts.URL+"/graphs/bad", "application/json", "{")
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("bad json: %d, want 422", code)
+	}
+	// Delete missing → 404.
+	code, _ = do(t, http.MethodDelete, ts.URL+"/graphs/ghost", "", "")
+	if code != http.StatusNotFound {
+		t.Errorf("delete missing: %d, want 404", code)
+	}
+	// Wrong methods → 405.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodDelete, "/graphs"},
+		{http.MethodPost, "/composed"},
+		{http.MethodGet, "/configure"},
+		{http.MethodPost, "/config"},
+		{http.MethodGet, "/events/move"},
+	} {
+		code, _ := do(t, probe.method, ts.URL+probe.path, "", "")
+		if code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %d, want 405", probe.method, probe.path, code)
+		}
+	}
+	// Unknown endpoint in event → 422.
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	code, _ = do(t, http.MethodPost, ts.URL+"/events/move", "application/json",
+		`{"endpoint":"ghost","to":0}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("move unknown endpoint: %d, want 422", code)
+	}
+}
+
+func TestGraphDeleteAndReconfigure(t *testing.T) {
+	ts, _ := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	code, _ := do(t, http.MethodDelete, ts.URL+"/graphs/web", "", "")
+	if code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	code, body := do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("reconfigure after delete: %d %v", code, body)
+	}
+	if body["policies"].(float64) != 0 {
+		t.Errorf("policies after delete = %v, want 0", body["policies"])
+	}
+}
+
+func TestInvalidTopology(t *testing.T) {
+	tp := topo.NewTopology("bad")
+	tp.AddSwitch("")
+	tp.AddSwitch("")
+	if _, err := New(tp, core.Config{}); err == nil {
+		t.Error("disconnected topology should be rejected")
+	}
+}

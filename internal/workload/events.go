@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// EventKind classifies trace events (the §2.2 dynamics).
+type EventKind int
+
+// Event kinds.
+const (
+	EvMove EventKind = iota
+	EvRelabel
+	EvCounter
+	EvHour
+	EvLinkFail
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvMove:
+		return "move"
+	case EvRelabel:
+		return "relabel"
+	case EvCounter:
+		return "counter"
+	case EvHour:
+		return "hour"
+	case EvLinkFail:
+		return "linkfail"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one dynamic occurrence in a trace.
+type Event struct {
+	Kind     EventKind
+	Endpoint string      // move/relabel/counter src
+	Peer     string      // counter dst
+	Node     topo.NodeID // move target / linkfail endpoint A
+	Node2    topo.NodeID // linkfail endpoint B
+	Labels   []string    // relabel
+	Hour     int         // hour tick
+	EventSym policy.Event
+	Delta    int
+}
+
+// Trace is a seeded sequence of dynamics for failure injection.
+type Trace struct {
+	Events []Event
+}
+
+// TraceSpec weights the event mix; weights need not sum to anything.
+type TraceSpec struct {
+	Length    int
+	Moves     int
+	Relabels  int
+	Counters  int
+	HourTicks int
+	LinkFails int
+	Seed      int64
+}
+
+// GenerateTrace draws a random event sequence against the workload's
+// topology. Link failures pick core switch-switch links only, and at most
+// one per trace (repeated failures could disconnect small topologies).
+func (w *Workload) GenerateTrace(spec TraceSpec) *Trace {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	total := spec.Moves + spec.Relabels + spec.Counters + spec.HourTicks + spec.LinkFails
+	if total <= 0 {
+		total = 1
+	}
+	if spec.Length <= 0 {
+		spec.Length = 10
+	}
+	switches := w.Topo.NodesOfKind(topo.Switch, "")
+	tr := &Trace{}
+	hour := 0
+	linkFailed := false
+	for i := 0; i < spec.Length; i++ {
+		roll := rng.Intn(total)
+		switch {
+		case roll < spec.Moves:
+			ep := w.Topo.Endpoints[rng.Intn(len(w.Topo.Endpoints))]
+			tr.Events = append(tr.Events, Event{
+				Kind: EvMove, Endpoint: ep.Name,
+				Node: switches[rng.Intn(len(switches))],
+			})
+		case roll < spec.Moves+spec.Relabels:
+			ep := w.Topo.Endpoints[rng.Intn(len(w.Topo.Endpoints))]
+			tr.Events = append(tr.Events, Event{
+				Kind: EvRelabel, Endpoint: ep.Name,
+				Labels: append([]string(nil), ep.Labels...), // relabel to same set: benign churn
+			})
+		case roll < spec.Moves+spec.Relabels+spec.Counters:
+			// Pick a policy's (src,dst) pair so the counter lands on a flow.
+			if len(w.Graph.Policies) == 0 {
+				continue
+			}
+			p := w.Graph.Policies[rng.Intn(len(w.Graph.Policies))]
+			srcs := w.Topo.EndpointsMatching(p.Src)
+			dsts := w.Topo.EndpointsMatching(p.Dst)
+			if len(srcs) == 0 || len(dsts) == 0 {
+				continue
+			}
+			tr.Events = append(tr.Events, Event{
+				Kind:     EvCounter,
+				Endpoint: srcs[rng.Intn(len(srcs))],
+				Peer:     dsts[rng.Intn(len(dsts))],
+				EventSym: policy.FailedConnections,
+				Delta:    rng.Intn(3) + 1,
+			})
+		case roll < spec.Moves+spec.Relabels+spec.Counters+spec.HourTicks:
+			hour = (hour + rng.Intn(6) + 1) % policy.HoursPerDay
+			tr.Events = append(tr.Events, Event{Kind: EvHour, Hour: hour})
+		default:
+			if linkFailed {
+				continue
+			}
+			// Fail a random switch-switch link.
+			for tries := 0; tries < 20; tries++ {
+				a := switches[rng.Intn(len(switches))]
+				nbrs := w.Topo.Neighbors(a)
+				if len(nbrs) < 2 {
+					continue // keep the topology connected-ish
+				}
+				b := nbrs[rng.Intn(len(nbrs))]
+				if w.Topo.Nodes[b].Kind != topo.Switch {
+					continue
+				}
+				tr.Events = append(tr.Events, Event{Kind: EvLinkFail, Node: a, Node2: b})
+				linkFailed = true
+				break
+			}
+		}
+	}
+	return tr
+}
+
+// Driver is the runtime surface a trace replays against; *runtime.Runtime
+// satisfies it. An interface keeps this package free of a runtime
+// dependency (runtime already depends on core, whose tests use workload).
+type Driver interface {
+	MoveEndpoint(name string, to topo.NodeID) error
+	RelabelEndpoint(name string, labels ...string) error
+	ReportEvent(src, dst string, ev policy.Event, delta int) error
+	AdvanceTo(hour int) error
+	FailLink(a, b topo.NodeID) error
+}
+
+// Replay applies the trace to a runtime, returning how many events applied
+// cleanly; events that become invalid mid-trace (an endpoint already
+// matching, a link already gone) are skipped, mirroring a controller that
+// drops stale notifications.
+func (tr *Trace) Replay(rt Driver) (applied int, err error) {
+	for _, e := range tr.Events {
+		var evErr error
+		switch e.Kind {
+		case EvMove:
+			evErr = rt.MoveEndpoint(e.Endpoint, e.Node)
+		case EvRelabel:
+			evErr = rt.RelabelEndpoint(e.Endpoint, e.Labels...)
+		case EvCounter:
+			evErr = rt.ReportEvent(e.Endpoint, e.Peer, e.EventSym, e.Delta)
+		case EvHour:
+			evErr = rt.AdvanceTo(e.Hour)
+		case EvLinkFail:
+			evErr = rt.FailLink(e.Node, e.Node2)
+		}
+		if evErr == nil {
+			applied++
+		}
+	}
+	return applied, nil
+}

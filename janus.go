@@ -1,0 +1,157 @@
+// Package janus is the public API of the Janus reproduction: a system for
+// expressing, composing, and configuring diverse dynamic intent-based
+// network policies (Abhashkumar et al., CoNEXT 2017).
+//
+// Janus extends graph-based policy intents (PGA) with QoS requirements
+// (bandwidth, latency, jitter — expressed as logical labels) and dynamic
+// conditions (stateful escalations and time-of-day windows), composes
+// policy graphs from multiple writers, and configures the composed graph
+// onto a topology by maximizing the number of atomically-satisfied group
+// policies while minimizing path changes under churn.
+//
+// Basic use:
+//
+//	g := janus.NewPolicyGraph("web-qos")
+//	g.AddEdge(janus.Edge{
+//		Src: "Marketing", Dst: "Web",
+//		Match: janus.Classifier{Proto: janus.TCP, Ports: []int{80}},
+//		Chain: janus.Chain{janus.LoadBalance},
+//		QoS:   janus.QoS{BandwidthMbps: 100},
+//	})
+//	composed, _ := janus.Compose(nil, g)
+//	conf, _ := janus.NewConfigurator(topology, composed, janus.Config{CandidatePaths: 5})
+//	result, _ := conf.Configure(0)
+//
+// The heavy lifting lives in the internal packages (documented in
+// DESIGN.md); this package re-exports the stable surface.
+package janus
+
+import (
+	"janus/internal/compose"
+	"janus/internal/core"
+	"janus/internal/labels"
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// Re-exported policy-model types (§4 of the paper).
+type (
+	// PolicyGraph is one writer's input policy graph.
+	PolicyGraph = policy.Graph
+	// Edge is a directed policy edge between two EPGs.
+	Edge = policy.Edge
+	// EPG is an endpoint group.
+	EPG = policy.EPG
+	// Classifier selects traffic (proto/ports).
+	Classifier = policy.Classifier
+	// Chain is an ordered NF service chain (waypoints).
+	Chain = policy.Chain
+	// QoS carries label-graded QoS requirements.
+	QoS = policy.QoS
+	// Condition is a dynamic (stateful and/or temporal) edge condition.
+	Condition = policy.Condition
+	// StatefulCond is a conjunction of event-counter predicates.
+	StatefulCond = policy.StatefulCond
+	// TimeWindow is a daily [start,end) hour window.
+	TimeWindow = policy.TimeWindow
+	// Event names a counter driving stateful policies.
+	Event = policy.Event
+	// Protocol is a classifier protocol.
+	Protocol = policy.Protocol
+	// NFKind names a middlebox type.
+	NFKind = policy.NFKind
+)
+
+// Re-exported protocol and NF constants.
+const (
+	TCP = policy.TCP
+	UDP = policy.UDP
+	Any = policy.Any
+
+	Firewall    = policy.Firewall
+	StatefulFW  = policy.StatefulFW
+	LoadBalance = policy.LoadBalance
+	LightIDS    = policy.LightIDS
+	HeavyIDS    = policy.HeavyIDS
+	ByteCounter = policy.ByteCounter
+	DPI         = policy.DPI
+
+	FailedConnections = policy.FailedConnections
+	BadSignature      = policy.BadSignature
+)
+
+// Re-exported label-scheme types (§4.1).
+type (
+	// LabelScheme orders QoS labels and maps them to concrete values.
+	LabelScheme = labels.Scheme
+	// Label is a logical QoS level.
+	Label = labels.Label
+)
+
+// DefaultLabels returns the paper's example label scheme (low/medium/high
+// bandwidth, etc.).
+func DefaultLabels() *LabelScheme { return labels.Default() }
+
+// Re-exported topology types (§5.1).
+type (
+	// Topology is the target network.
+	Topology = topo.Topology
+	// NodeID identifies a topology node.
+	NodeID = topo.NodeID
+	// Endpoint is a host attached to a switch.
+	Endpoint = topo.Endpoint
+)
+
+// NewTopology returns an empty topology.
+func NewTopology(name string) *Topology { return topo.NewTopology(name) }
+
+// ZooTopology builds one of the named evaluation topologies (Ans, Agis,
+// CrlNetServ, Cwix, Garr201008, Internode, Redbestel).
+func ZooTopology(name string) (*Topology, error) { return topo.Zoo(name) }
+
+// Re-exported composition types (§4).
+type (
+	// ComposedGraph is the merged policy graph of all writers.
+	ComposedGraph = compose.Graph
+	// ComposedPolicy is one configurable (src,dst) group policy.
+	ComposedPolicy = compose.Policy
+	// Conflict records a composition conflict.
+	Conflict = compose.Conflict
+)
+
+// NewPolicyGraph returns an empty input policy graph.
+func NewPolicyGraph(name string) *PolicyGraph { return policy.NewGraph(name) }
+
+// Compose merges input policy graphs under a label scheme (nil for the
+// default scheme), resolving QoS label conflicts and dynamic-condition
+// conjunctions, and pruning unsatisfiable edges.
+func Compose(scheme *LabelScheme, graphs ...*PolicyGraph) (*ComposedGraph, error) {
+	return compose.New(scheme).Compose(graphs...)
+}
+
+// Re-exported configurator types (§5).
+type (
+	// Config tunes the policy configurator.
+	Config = core.Config
+	// Configurator solves policy configurations on a topology.
+	Configurator = core.Configurator
+	// Result is one period's configuration.
+	Result = core.Result
+	// TemporalResult is a per-period chain of configurations.
+	TemporalResult = core.TemporalResult
+	// NegotiationResult reports a §5.6 bandwidth negotiation.
+	NegotiationResult = core.NegotiationResult
+	// Assignment is one configured (policy, pair) path.
+	Assignment = core.Assignment
+	// LinkUse reports per-link reservation and shadow price.
+	LinkUse = core.LinkUse
+)
+
+// NewConfigurator binds a composed graph to a topology.
+func NewConfigurator(t *Topology, g *ComposedGraph, cfg Config) (*Configurator, error) {
+	return core.New(t, g, cfg)
+}
+
+// CountPathChanges counts the path-change disruption between two results
+// (the Σα metric of Eqns 7–8).
+func CountPathChanges(prev, next *Result) int { return core.CountPathChanges(prev, next) }

@@ -1,0 +1,81 @@
+package janus_test
+
+import (
+	"testing"
+
+	"janus"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the package doc
+// advertises: build graphs, compose, configure, reconfigure.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tp := janus.NewTopology("demo")
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	lb := tp.AddNF("lb", janus.LoadBalance)
+	for _, pair := range [][2]janus.NodeID{{a, lb}, {lb, b}, {a, b}} {
+		if err := tp.AddLink(pair[0], pair[1], 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.AddEndpoint("m1", a, "Marketing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("w1", b, "Web"); err != nil {
+		t.Fatal(err)
+	}
+
+	g := janus.NewPolicyGraph("web-qos")
+	g.AddEdge(janus.Edge{
+		Src: "Marketing", Dst: "Web",
+		Match: janus.Classifier{Proto: janus.TCP, Ports: []int{80}},
+		Chain: janus.Chain{janus.LoadBalance},
+		QoS:   janus.QoS{BandwidthMbps: 100},
+	})
+	composed, err := janus.Compose(nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(composed.Policies) != 1 {
+		t.Fatalf("composed %d policies, want 1", len(composed.Policies))
+	}
+
+	conf, err := janus.NewConfigurator(tp, composed, janus.Config{CandidatePaths: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conf.Configure(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedCount() != 1 {
+		t.Fatalf("satisfied %d, want 1", res.SatisfiedCount())
+	}
+	next, err := conf.Reconfigure(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if janus.CountPathChanges(res, next) != 0 {
+		t.Error("unchanged environment should keep paths")
+	}
+}
+
+func TestZooTopologyFacade(t *testing.T) {
+	tp, err := janus.ZooTopology("Ans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Nodes) != 18 {
+		t.Errorf("Ans has %d nodes, want 18", len(tp.Nodes))
+	}
+	if _, err := janus.ZooTopology("Nowhere"); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestDefaultLabelsFacade(t *testing.T) {
+	s := janus.DefaultLabels()
+	if s == nil || len(s.Metrics()) == 0 {
+		t.Error("default label scheme should define metrics")
+	}
+}
