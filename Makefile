@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet lint test test-race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/januslint ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# check is the full correctness gate CI runs: compile, vet, januslint,
+# and the test suite under the race detector.
+check: build vet lint test-race

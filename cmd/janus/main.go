@@ -77,9 +77,9 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "composed %d policies from %d graphs\n", len(composed.Policies), len(graphs))
+	printf(out, "composed %d policies from %d graphs\n", len(composed.Policies), len(graphs))
 	for _, c := range composed.Conflicts {
-		fmt.Fprintf(out, "conflict: %s\n", c)
+		printf(out, "conflict: %s\n", c)
 	}
 
 	conf, err := janus.NewConfigurator(&tp, composed, janus.Config{
@@ -95,7 +95,7 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "periods: %v, total configured: %d, cross-period path changes: %d\n",
+		printf(out, "periods: %v, total configured: %d, cross-period path changes: %d\n",
 			tr.Periods, tr.TotalConfigured, tr.PathChanges)
 		for _, res := range tr.Results {
 			printResult(out, composed, res)
@@ -111,7 +111,7 @@ func run(args []string, out *os.File) error {
 }
 
 func printResult(out *os.File, g *janus.ComposedGraph, res *janus.Result) {
-	fmt.Fprintf(out, "\n=== period %dh: %d/%d policies configured (objective %.4f, %v) ===\n",
+	printf(out, "\n=== period %dh: %d/%d policies configured (objective %.4f, %v) ===\n",
 		res.Period, res.SatisfiedCount(), len(res.Configured), res.Objective, res.Stats.Duration)
 	ids := make([]int, 0, len(res.Configured))
 	for pid := range res.Configured {
@@ -124,26 +124,32 @@ func printResult(out *os.File, g *janus.ComposedGraph, res *janus.Result) {
 		if res.Configured[pid] {
 			status = "configured"
 		}
-		fmt.Fprintf(out, "policy %d (%s -> %s): %s\n", pid, p.Src.Name, p.Dst.Name, status)
+		printf(out, "policy %d (%s -> %s): %s\n", pid, p.Src.Name, p.Dst.Name, status)
 	}
 	for _, a := range res.Assignments {
 		role := "hard"
 		if a.Role != 0 {
 			role = "reserved"
 		}
-		fmt.Fprintf(out, "  p%d %s->%s [%s] path %s (%.1f Mbps)\n",
+		printf(out, "  p%d %s->%s [%s] path %s (%.1f Mbps)\n",
 			a.Policy, a.Src, a.Dst, role, a.Path.Key(), a.BW)
 	}
 	if bn := res.Bottlenecks(); len(bn) > 0 {
-		fmt.Fprintf(out, "bottleneck links (by shadow price):\n")
+		printf(out, "bottleneck links (by shadow price):\n")
 		for i, l := range bn {
 			if i >= 5 {
 				break
 			}
-			fmt.Fprintf(out, "  %d->%d: %.1f/%.1f Mbps reserved, shadow price %.4f\n",
+			printf(out, "  %d->%d: %.1f/%.1f Mbps reserved, shadow price %.4f\n",
 				l.From, l.To, l.Reserved, l.Capacity, l.ShadowPrice)
 		}
 	}
+}
+
+// printf writes best-effort display output, visibly discarding the write
+// error: there is nothing useful to do when stdout is gone.
+func printf(out *os.File, format string, args ...any) {
+	_, _ = fmt.Fprintf(out, format, args...)
 }
 
 func readJSON(path string, v any) error {

@@ -1,0 +1,103 @@
+// Command januslint runs Janus's project-specific static-analysis suite
+// (internal/analysis) over package patterns, ./... by default.
+//
+//	go run ./cmd/januslint ./...
+//
+// It understands plain directories and the /... recursive suffix, prints
+// file:line:col: [check] message findings (or a JSON array with -json),
+// and exits 1 when any finding survives suppression, 2 on load errors.
+// Findings are suppressed with //janus:allow <check> <reason> on the
+// offending line or the line above; see internal/analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"janus/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: januslint [-json] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var batch []*analysis.Package
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			batch, err = loader.LoadTree(root)
+		} else {
+			var p *analysis.Package
+			p, err = loader.LoadDir(pat)
+			batch = []*analysis.Package{p}
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range batch {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	analyzers := analysis.Default()
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, analysis.Run(p, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+					d.File = rel
+				}
+			}
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "januslint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "januslint:", err)
+	os.Exit(2)
+}

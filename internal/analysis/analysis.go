@@ -1,0 +1,209 @@
+// Package analysis is januslint's static-analysis framework: a small,
+// stdlib-only harness that loads packages with go/parser + go/types (via
+// the source importer), walks their ASTs with project-specific analyzers,
+// and emits file:line:col diagnostics.
+//
+// Janus's correctness hinges on numerically delicate solver code and on
+// reproducible seeded randomness, which generic linters do not understand;
+// the analyzers here encode those project rules (see floatcmp.go,
+// detrand.go, lockcheck.go, errdrop.go).
+//
+// A finding is suppressed by a comment of the form
+//
+//	//janus:allow <check>[,<check>...] <reason>
+//
+// placed on the offending line or on the line immediately above it. The
+// reason is mandatory: an allow comment without one is itself reported
+// (check name "allow"), so every suppression documents why the exact
+// behavior is intended.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check run over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Paths, when non-empty, restricts the analyzer to packages whose
+	// import path contains one of these substrings.
+	Paths []string
+	Run   func(*Pass)
+}
+
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Paths) == 0 {
+		return true
+	}
+	for _, p := range a.Paths {
+		if strings.Contains(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Default returns the standard januslint analyzer suite with its
+// production scoping: floatcmp guards the numerically delicate solver
+// packages, detrand guards all non-test internal code, lockcheck and
+// errdrop run everywhere.
+func Default() []*Analyzer {
+	fc := FloatCmp()
+	fc.Paths = []string{"internal/lp", "internal/milp", "internal/core"}
+	dr := DetRand()
+	dr.Paths = []string{"internal/"}
+	return []*Analyzer{fc, dr, LockCheck(), ErrDrop()}
+}
+
+// Run applies the analyzers to the package, drops suppressed findings, and
+// returns the rest sorted by position. Malformed //janus:allow comments
+// (missing reason, unknown check name) are reported under the "allow"
+// check.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{"allow": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, out := collectAllows(pkg, known)
+	for _, a := range analyzers {
+		if !a.applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if allows.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+const allowPrefix = "//janus:allow"
+
+// allowIndex maps file -> line -> set of allowed check names. An allow
+// comment covers its own line (trailing comment) and the line below it
+// (comment on its own line above the code).
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) suppressed(d Diagnostic) bool {
+	lines := ai[d.File]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Line][d.Check] || lines[d.Line-1][d.Check]
+}
+
+func (ai allowIndex) add(file string, line int, check string) {
+	if ai[file] == nil {
+		ai[file] = map[int]map[string]bool{}
+	}
+	if ai[file][line] == nil {
+		ai[file][line] = map[string]bool{}
+	}
+	ai[file][line][check] = true
+}
+
+// collectAllows scans every comment of the package for //janus:allow
+// directives, returning the suppression index plus diagnostics for
+// malformed directives.
+func collectAllows(pkg *Package, known map[string]bool) (allowIndex, []Diagnostic) {
+	ai := allowIndex{}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		position := pkg.Fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			File:    position.Filename,
+			Line:    position.Line,
+			Col:     position.Column,
+			Check:   "allow",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "janus:allow needs a check name and a reason")
+					continue
+				}
+				if len(fields) == 1 {
+					report(c.Pos(), "janus:allow %s needs a one-line reason explaining why the finding is intended", fields[0])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, check := range strings.Split(fields[0], ",") {
+					if !known[check] {
+						report(c.Pos(), "janus:allow references unknown check %q", check)
+						continue
+					}
+					ai.add(pos.Filename, pos.Line, check)
+				}
+			}
+		}
+	}
+	return ai, diags
+}
+
+// inspect walks every file of the pass's package.
+func (p *Pass) inspect(f func(ast.Node) bool) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, f)
+	}
+}

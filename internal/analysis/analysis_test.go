@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	p, err := newTestLoader(t).LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// wantComments extracts "// want <check>..." expectations from the fixture,
+// keyed by file:line.
+func wantComments(p *Package) map[string][]string {
+	want := map[string][]string{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				want[key] = append(want[key], strings.Fields(rest)...)
+			}
+		}
+	}
+	return want
+}
+
+// checkFixture runs the analyzer over its fixture and diffs findings
+// against the want comments.
+func checkFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	p := loadFixture(t, name)
+	want := wantComments(p)
+	diags := Run(p, []*Analyzer{a})
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		checks := want[key]
+		i := -1
+		for j, c := range checks {
+			if c == d.Check {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		want[key] = append(checks[:i], checks[i+1:]...)
+	}
+	for key, checks := range want {
+		for _, c := range checks {
+			t.Errorf("missing diagnostic %q at %s", c, key)
+		}
+	}
+	return diags
+}
+
+func TestFloatCmpFixture(t *testing.T)  { checkFixture(t, "floatcmp", FloatCmp()) }
+func TestDetRandFixture(t *testing.T)   { checkFixture(t, "detrand", DetRand()) }
+func TestLockCheckFixture(t *testing.T) { checkFixture(t, "lockcheck", LockCheck()) }
+func TestErrDropFixture(t *testing.T)   { checkFixture(t, "errdrop", ErrDrop()) }
+
+// TestGolden locks the exact rendered output (text and JSON) of the
+// floatcmp fixture against a checked-in golden file.
+func TestGolden(t *testing.T) {
+	p := loadFixture(t, "floatcmp")
+	diags := Run(p, []*Analyzer{FloatCmp()})
+	var b strings.Builder
+	for _, d := range diags {
+		if i := strings.Index(d.File, "testdata"); i >= 0 {
+			d.File = filepath.ToSlash(d.File[i:])
+		}
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	goldenPath := filepath.Join("testdata", "floatcmp.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(golden) {
+		t.Errorf("golden mismatch (rerun with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Check: "floatcmp", Message: "m"}
+	data, err := json.Marshal([]Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"file":"x.go","line":3,"col":7,"check":"floatcmp","message":"m"}]`
+	if string(data) != want {
+		t.Errorf("JSON = %s, want %s", data, want)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != d {
+		t.Errorf("round trip = %+v, want %+v", back, d)
+	}
+}
+
+// TestAllowForm verifies that malformed //janus:allow directives are
+// themselves reported: a missing reason and an unknown check name, and
+// that an unknown-check directive does not suppress anything.
+func TestAllowForm(t *testing.T) {
+	p := loadFixture(t, "allowform")
+	diags := Run(p, []*Analyzer{FloatCmp()})
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Check]++
+	}
+	// Two allow findings (missing reason, unknown check) plus the floatcmp
+	// finding the unknown-check directive failed to suppress.
+	if counts["allow"] != 2 || counts["floatcmp"] != 1 || len(diags) != 3 {
+		t.Errorf("diagnostics = %v, want 2 allow + 1 floatcmp", diags)
+	}
+	for _, d := range diags {
+		if d.Check == "floatcmp" && !strings.Contains(d.File, "a.go") {
+			t.Errorf("floatcmp diagnostic in unexpected file: %s", d)
+		}
+	}
+}
+
+// TestLoaderModulePackage proves module-local import resolution: loading
+// internal/lp pulls the package in by its module import path.
+func TestLoaderModulePackage(t *testing.T) {
+	l := newTestLoader(t)
+	p, err := l.LoadDir(filepath.Join(l.ModuleRoot(), "internal", "lp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types.Name() != "lp" {
+		t.Errorf("package name = %q, want lp", p.Types.Name())
+	}
+	if p.Path != "janus/internal/lp" {
+		t.Errorf("import path = %q, want janus/internal/lp", p.Path)
+	}
+}
+
+// TestLoadTree loads every fixture package in one sweep and checks the
+// result is sorted and complete.
+func TestLoadTree(t *testing.T) {
+	pkgs, err := newTestLoader(t).LoadTree(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range pkgs {
+		names = append(names, p.Types.Name())
+	}
+	want := []string{"allowform", "detrand", "errdrop", "floatcmp", "lockcheck"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("LoadTree packages = %v, want %v", names, want)
+	}
+}
+
+// TestDefaultScoping verifies the production path restrictions: floatcmp
+// must not fire outside the solver packages, detrand never outside
+// internal/.
+func TestDefaultScoping(t *testing.T) {
+	for _, a := range Default() {
+		switch a.Name {
+		case "floatcmp":
+			if a.applies("janus/internal/server") {
+				t.Error("floatcmp should not apply to internal/server")
+			}
+			if !a.applies("janus/internal/lp") {
+				t.Error("floatcmp should apply to internal/lp")
+			}
+		case "detrand":
+			if a.applies("janus/cmd/janus") {
+				t.Error("detrand should not apply to cmd/janus")
+			}
+			if !a.applies("janus/internal/paths") {
+				t.Error("detrand should apply to internal/paths")
+			}
+		case "lockcheck", "errdrop":
+			if !a.applies("janus/cmd/janus") || !a.applies("janus/internal/server") {
+				t.Errorf("%s should apply everywhere", a.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheck returns the lockcheck analyzer. For every struct declaring a
+// sync.Mutex or sync.RWMutex field, the fields declared *after* the mutex
+// are considered guarded by it (the standard Go layout convention: "mu
+// guards the fields below"; fields above the mutex are immutable-after-new
+// state). A method on such a struct that touches a guarded sibling field
+// without locking the mutex anywhere in its body is flagged.
+//
+// Two escape hatches exist for intentional lock-free access: methods whose
+// name ends in "Locked" (the documented caller-holds-lock convention) are
+// skipped entirely, and individual accesses can carry
+// //janus:allow lockcheck <reason>.
+func LockCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "flags methods touching mutex-guarded struct fields without locking",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+
+		// Map each package-level struct type to its mutex field name and
+		// the set of guarded (declared-after-mutex) field names.
+		type guardSet struct {
+			mutexName string
+			fields    map[string]bool
+		}
+		guards := map[*types.TypeName]guardSet{}
+		scope := pass.Pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			mi := -1
+			for i := 0; i < st.NumFields(); i++ {
+				if isMutex(st.Field(i).Type()) {
+					mi = i
+					break
+				}
+			}
+			if mi < 0 || mi == st.NumFields()-1 {
+				continue
+			}
+			g := guardSet{mutexName: st.Field(mi).Name(), fields: map[string]bool{}}
+			for i := mi + 1; i < st.NumFields(); i++ {
+				g.fields[st.Field(i).Name()] = true
+			}
+			guards[tn] = g
+		}
+		if len(guards) == 0 {
+			return
+		}
+
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				if strings.HasSuffix(fd.Name.Name, "Locked") {
+					continue
+				}
+				fn, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					continue
+				}
+				rt := recv.Type()
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				named, ok := rt.(*types.Named)
+				if !ok {
+					continue
+				}
+				g, ok := guards[named.Obj()]
+				if !ok {
+					continue
+				}
+				// The receiver variable object, for matching x.field.
+				var recvObj types.Object
+				if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+				}
+				if recvObj == nil {
+					continue // unnamed receiver cannot touch fields
+				}
+
+				locked := false
+				type access struct {
+					sel  *ast.SelectorExpr
+					name string
+				}
+				var accesses []access
+				onRecv := func(e ast.Expr) bool {
+					id, ok := e.(*ast.Ident)
+					return ok && info.Uses[id] == recvObj
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					// recv.mu.Lock() / recv.mu.RLock() anywhere in the body
+					// counts as taking the lock.
+					if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+						if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+							inner.Sel.Name == g.mutexName && onRecv(inner.X) {
+							locked = true
+						}
+					}
+					if onRecv(sel.X) && g.fields[sel.Sel.Name] {
+						if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+							accesses = append(accesses, access{sel, sel.Sel.Name})
+						}
+					}
+					return true
+				})
+				if locked {
+					continue
+				}
+				for _, acc := range accesses {
+					pass.Reportf(acc.sel.Sel.Pos(),
+						"%s.%s accesses %s (guarded by %s) without holding the lock: lock %s, add a Locked name suffix, or annotate //janus:allow lockcheck <reason>",
+						named.Obj().Name(), fd.Name.Name, acc.name, g.mutexName, g.mutexName)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,14 @@
+// Package allowform is a januslint fixture for the //janus:allow comment
+// form itself: a directive without a reason and a directive naming an
+// unknown check are both reported under the "allow" check.
+package allowform
+
+func f(x float64) float64 {
+	if x == 0 { //janus:allow floatcmp
+		return 1
+	}
+	if x == 1 { //janus:allow nosuchcheck the check name does not exist
+		return 2
+	}
+	return x
+}

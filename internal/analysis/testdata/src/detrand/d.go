@@ -1,0 +1,18 @@
+// Package detrand is a januslint fixture: lines marked "want detrand"
+// must be reported by the detrand analyzer.
+package detrand
+
+import "math/rand"
+
+func draw(rng *rand.Rand) int {
+	x := rand.Intn(10)                 // want detrand
+	rand.Shuffle(x, func(i, j int) {}) // want detrand
+	f := rand.Float64                  // want detrand
+	_ = f
+	_ = rand.Perm(3) // want detrand
+
+	y := rng.Intn(10)                // ok: seeded instance method
+	r := rand.New(rand.NewSource(1)) // ok: constructors build the seeded form
+	z := rand.Intn(2)                //janus:allow detrand fixture: demonstrates suppression
+	return x + y + z + r.Intn(3)
+}

@@ -1,0 +1,31 @@
+// Package errdrop is a januslint fixture: lines marked "want errdrop"
+// must be reported by the errdrop analyzer.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error        { return errors.New("boom") }
+func pair() (int, error) { return 0, errors.New("boom") }
+func fine() int          { return 1 }
+
+func drop(f *os.File) {
+	fail()    // want errdrop
+	pair()    // want errdrop
+	f.Close() // want errdrop
+
+	fine()     // ok: no error result
+	_ = fail() // ok: visible discard
+	if err := fail(); err != nil {
+		fmt.Println(err) // ok: best-effort stdout diagnostics
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")         // ok: in-memory buffer writes never fail
+	b.WriteString("y")           // ok: Builder method
+	fmt.Fprintln(os.Stderr, "z") // ok: std stream diagnostics
+	fail()                       //janus:allow errdrop fixture: demonstrates suppression
+}

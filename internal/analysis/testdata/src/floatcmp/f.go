@@ -1,0 +1,38 @@
+// Package floatcmp is a januslint fixture: lines marked "want floatcmp"
+// must be reported by the floatcmp analyzer.
+package floatcmp
+
+const eps = 1e-9
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func cmp(a, b float64, xs []float64) int {
+	if a == b { // want floatcmp
+		return 0
+	}
+	if a != b { // want floatcmp
+		return 1
+	}
+	if a == 0.5 { // want floatcmp
+		return 2
+	}
+	var f32 float32
+	if f32 != 0 { // want floatcmp
+		return 3
+	}
+	if absDiff(a, b) < eps { // ok: tolerance comparison through a helper
+		return 4
+	}
+	if len(xs) == 0 { // ok: integer comparison
+		return 5
+	}
+	if a == 0 { //janus:allow floatcmp fixture: exact-zero sentinel is intended here
+		return 6
+	}
+	return 7
+}

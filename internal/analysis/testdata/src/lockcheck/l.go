@@ -1,0 +1,45 @@
+// Package lockcheck is a januslint fixture: lines marked "want lockcheck"
+// must be reported by the lockcheck analyzer.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	name string // immutable after construction: declared above mu
+
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Name() string { return c.name } // ok: unguarded field
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // ok: mu held
+}
+
+func (c *counter) Peek() int {
+	return c.n // want lockcheck
+}
+
+func (c *counter) peekLocked() int { return c.n } // ok: caller-holds-lock convention
+
+func (c *counter) Reset() {
+	c.n = 0 //janus:allow lockcheck fixture: demonstrates suppression
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+func (g *gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v // ok: read lock held
+}
+
+func (g *gauge) Set(v float64) {
+	g.v = v // want lockcheck
+}

@@ -72,10 +72,10 @@ func (c Config) withDefaults() Config {
 	if c.Scheme == nil {
 		c.Scheme = labels.Default()
 	}
-	if c.Lambda == 0 {
+	if c.Lambda == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
 		c.Lambda = 0.2
 	}
-	if c.Rho == 0 {
+	if c.Rho == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
 		c.Rho = 0.2
 	}
 	// The branch-and-bound gap tolerance: the paper's objective counts
@@ -83,7 +83,7 @@ func (c Config) withDefaults() Config {
 	// normalized weight on typical instances) keeps counts honest while
 	// avoiding exhaustive proofs. ILP and heuristic modes share the same
 	// tolerance, keeping comparisons fair.
-	if c.RelGap == 0 {
+	if c.RelGap == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
 		c.RelGap = 0.02
 	}
 	if c.MaxNodes == 0 {
@@ -258,7 +258,7 @@ func (r *Result) AssignmentFor(pid int, src, dst string) (Assignment, bool) {
 func (r *Result) Bottlenecks() []LinkUse {
 	var out []LinkUse
 	for _, l := range r.Links {
-		if l.ShadowPrice > 1e-9 {
+		if gtEps(l.ShadowPrice, 0) {
 			out = append(out, l)
 		}
 	}

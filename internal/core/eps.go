@@ -1,0 +1,12 @@
+package core
+
+// eps is the bandwidth/shadow-price comparison tolerance: quantities built
+// from sums of path reservations are only meaningful beyond accumulated
+// floating-point noise at this scale.
+const eps = 1e-9
+
+// gtEps reports a > b beyond floating-point noise.
+func gtEps(a, b float64) bool { return a > b+eps }
+
+// fitsEps reports that avail covers need up to floating-point noise.
+func fitsEps(avail, need float64) bool { return avail >= need-eps }

@@ -104,7 +104,7 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 		}
 
 		for _, r := range rank[:top] {
-			if over.factor(r.pid, baseline.Periods[k]) != 1 {
+			if over.factor(r.pid, baseline.Periods[k]) != 1 { //janus:allow floatcmp factor returns the exact literal 1 when no override is recorded
 				continue // already renegotiated at this period
 			}
 			// The policy's per-pair bandwidth at this period.

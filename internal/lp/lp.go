@@ -426,7 +426,7 @@ func (s *simplex) reinvert() error {
 				continue
 			}
 			f := B[i][col]
-			if f == 0 {
+			if f == 0 { //janus:allow floatcmp exact-zero sparsity guard: skips a provably no-op elimination row
 				continue
 			}
 			for j := 0; j < m; j++ {
@@ -463,7 +463,7 @@ func (s *simplex) computeBasics() {
 			continue
 		}
 		x := s.nonbasicValue(v)
-		if x == 0 {
+		if x == 0 { //janus:allow floatcmp exact-zero sparsity guard: a resting value of exactly 0 contributes nothing
 			continue
 		}
 		s.colEntries(v, func(r int, a float64) {
@@ -562,7 +562,7 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 	for k := 0; k < m; k++ {
 		sum := 0.0
 		for i := 0; i < m; i++ {
-			if cb := c[s.basic[i]]; cb != 0 {
+			if cb := c[s.basic[i]]; cb != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost rows add nothing to y
 				sum += cb * s.binv[i][k]
 			}
 		}
@@ -598,7 +598,7 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 				score, dv = -d, -1
 			}
 		}
-		if dv == 0 {
+		if dv == 0 { //janus:allow floatcmp dv is assigned only the exact literals 0/+1/-1 above
 			continue
 		}
 		if bland {
@@ -616,7 +616,7 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 	// FTRAN: w = B⁻¹ A_enter.
 	w := make([]float64, m)
 	s.colEntries(enter, func(r int, a float64) {
-		if a == 0 {
+		if a == 0 { //janus:allow floatcmp exact-zero sparsity guard: zero column entries contribute nothing to FTRAN
 			return
 		}
 		for i := 0; i < m; i++ {
@@ -726,7 +726,7 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 			continue
 		}
 		f := w[i]
-		if f == 0 {
+		if f == 0 { //janus:allow floatcmp exact-zero sparsity guard: skips a provably no-op update row
 			continue
 		}
 		bi := s.binv[i]
@@ -798,7 +798,7 @@ func (s *simplex) extract(status Status) *Solution {
 		for k := 0; k < s.m; k++ {
 			sum := 0.0
 			for i := 0; i < s.m; i++ {
-				if cb := s.obj[s.basic[i]]; cb != 0 {
+				if cb := s.obj[s.basic[i]]; cb != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost rows add nothing to y
 					sum += cb * s.binv[i][k]
 				}
 			}

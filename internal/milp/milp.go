@@ -109,7 +109,12 @@ type Solution struct {
 	RootBasis *lp.Basis
 }
 
-const intTol = 1e-6
+const (
+	intTol = 1e-6
+	// pruneTol is the bound-vs-incumbent slack below which a node cannot
+	// improve the incumbent and is pruned.
+	pruneTol = 1e-9
+)
 
 // Solver runs branch and bound over an lp.Problem with a designated set of
 // integer (binary) variables. The Problem is mutated during the solve
@@ -251,7 +256,7 @@ func (s *Solver) Solve(opts Options) (*Solution, error) {
 		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if gapOK(nd.bound) || nd.bound <= incObj+1e-9 {
+		if gapOK(nd.bound) || nd.bound <= incObj+pruneTol {
 			continue // pruned by bound
 		}
 		res, err := s.solveLP(nd.fixings, nd.basis)
@@ -266,7 +271,7 @@ func (s *Solver) Solve(opts Options) (*Solution, error) {
 		if res.Status != lp.Optimal {
 			continue // iteration limit at a node: drop it conservatively
 		}
-		if res.Objective <= incObj+1e-9 {
+		if res.Objective <= incObj+pruneTol {
 			continue
 		}
 		frac := s.pickBranch(res.X, opts, intIndex)

@@ -44,14 +44,17 @@ import (
 	"janus/internal/topo"
 )
 
-// Server is the Janus HTTP controller.
+// Server is the Janus HTTP controller. Fields above mu are immutable after
+// New; mu guards the fields below it (the layout convention enforced by
+// januslint's lockcheck).
 type Server struct {
+	topo *topo.Topology
+	cfg  core.Config
+	mux  *http.ServeMux
+
 	mu     sync.Mutex
-	topo   *topo.Topology
-	cfg    core.Config
 	graphs map[string]*policy.Graph
 	rt     *runtime.Runtime // nil until the first successful /configure
-	mux    *http.ServeMux
 }
 
 // New builds a controller for the given topology and solver configuration.
@@ -237,8 +240,9 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// requireRuntime returns the runtime or writes a 409.
-func (s *Server) requireRuntime(w http.ResponseWriter) *runtime.Runtime {
+// requireRuntimeLocked returns the runtime or writes a 409. Callers must
+// hold s.mu.
+func (s *Server) requireRuntimeLocked(w http.ResponseWriter) *runtime.Runtime {
 	if s.rt == nil {
 		httpError(w, http.StatusConflict, "no configuration yet; POST /configure first")
 		return nil
@@ -253,7 +257,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rt := s.requireRuntime(w)
+	rt := s.requireRuntimeLocked(w)
 	if rt == nil {
 		return
 	}
@@ -293,7 +297,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rt := s.requireRuntime(w)
+	rt := s.requireRuntimeLocked(w)
 	if rt == nil {
 		return
 	}
@@ -314,7 +318,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rt := s.requireRuntime(w)
+	rt := s.requireRuntimeLocked(w)
 	if rt == nil {
 		return
 	}
@@ -389,7 +393,7 @@ func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, a
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rt := s.requireRuntime(w)
+	rt := s.requireRuntimeLocked(w)
 	if rt == nil {
 		return
 	}

@@ -3,9 +3,11 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"janus/internal/core"
@@ -262,5 +264,85 @@ func TestInvalidTopology(t *testing.T) {
 	tp.AddSwitch("")
 	if _, err := New(tp, core.Config{}); err == nil {
 		t.Error("disconnected topology should be rejected")
+	}
+}
+
+// TestConcurrentRequests hammers the northbound API from many goroutines
+// at once — graph submissions, reconfigurations, runtime events, and state
+// queries all interleave. It exists to be run under -race: any handler
+// touching guarded state outside s.mu shows up here.
+func TestConcurrentRequests(t *testing.T) {
+	ts, _ := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	do(t, http.MethodPost, ts.URL+"/configure", "", "")
+
+	// request is a goroutine-safe variant of do: it returns errors instead
+	// of calling t.Fatal, and only 5xx (or transport failure) is fatal —
+	// 4xx responses are legitimate interleavings (e.g. querying /config
+	// concurrently with a graph deletion).
+	request := func(method, path, contentType, body string) error {
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if err := resp.Body.Close(); err != nil {
+			return err
+		}
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	const workers, iters = 8, 14
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var err error
+				switch i % 7 {
+				case 0:
+					err = request(http.MethodPut, fmt.Sprintf("/graphs/g%d", w), "text/plain", intentBody)
+				case 1:
+					err = request(http.MethodPost, "/configure", "", "")
+				case 2:
+					err = request(http.MethodGet, "/graphs", "", "")
+				case 3:
+					err = request(http.MethodPost, "/events/hour", "application/json",
+						fmt.Sprintf(`{"hour":%d}`, (w+i)%24))
+				case 4:
+					err = request(http.MethodPost, "/events/counter", "application/json",
+						`{"src":"c1","dst":"srv1","event":"failed-connections","delta":1}`)
+				case 5:
+					err = request(http.MethodGet, "/config", "", "")
+				case 6:
+					err = request(http.MethodGet, "/metrics", "", "")
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The server must still be coherent after the storm.
+	code, body := do(t, http.MethodPost, ts.URL+"/configure", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("configure after concurrent storm: %d %v", code, body)
+	}
+	if body["policies"].(float64) < 1 {
+		t.Errorf("policies after storm = %v, want >= 1", body["policies"])
 	}
 }
