@@ -10,6 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is self-hosting: ./... includes internal/analysis, internal/analysis/cfg,
+# and cmd/januslint, so the analyzers must pass their own checks. Any
+# non-suppressed finding exits non-zero and fails check/CI.
 lint:
 	$(GO) run ./cmd/januslint ./...
 

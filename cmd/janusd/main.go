@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	janusd -topo topology.json [-addr :8080] [-paths 5] [-seed 1]
+//	janusd -topo topology.json [-addr :8080] [-paths 5] [-seed 1] [-tick 0]
+//
+// With -tick set (e.g. -tick 1m), the controller advances the policy clock
+// one hour per interval on its own, driving time-of-day policies without an
+// external scheduler. SIGINT/SIGTERM shut the server down gracefully:
+// in-flight requests finish and the ticker goroutine is reaped before exit.
 //
 // Then, for example:
 //
@@ -17,12 +22,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"janus/internal/core"
 	"janus/internal/server"
@@ -34,6 +44,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	paths := flag.Int("paths", 5, "candidate paths per endpoint pair")
 	seed := flag.Int64("seed", 1, "random seed")
+	tick := flag.Duration("tick", 0, "advance the policy clock one hour per interval (0 disables)")
 	flag.Parse()
 
 	if *topoPath == "" {
@@ -52,6 +63,43 @@ func main() {
 	if err != nil {
 		log.Fatalf("janusd: %v", err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tickerDone <-chan struct{}
+	if *tick > 0 {
+		tickerDone, err = s.StartAutoHour(ctx, *tick, log.Printf)
+		if err != nil {
+			log.Fatalf("janusd: %v", err)
+		}
+		log.Printf("janusd: auto-hour ticker on, one policy hour per %v", *tick)
+	} else {
+		closed := make(chan struct{})
+		close(closed)
+		tickerDone = closed
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("janusd: serving topology %q (%d nodes) on %s", t.Name, len(t.Nodes), *addr)
-	log.Fatal(http.ListenAndServe(*addr, s))
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("janusd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("janusd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("janusd: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("janusd: serve: %v", err)
+	}
+	<-tickerDone
+	log.Printf("janusd: stopped")
 }

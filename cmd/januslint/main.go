@@ -3,6 +3,12 @@
 //
 //	go run ./cmd/januslint ./...
 //
+// The default suite registers eight analyzers: the syntactic checks
+// floatcmp, detrand, lockcheck, and errdrop, plus the CFG/dataflow-backed
+// mutexcopy, ctxleak, and deferloop (built on internal/analysis/cfg) and
+// layercheck, which enforces the import DAG declared in
+// internal/analysis/layers.json.
+//
 // It understands plain directories and the /... recursive suffix, prints
 // file:line:col: [check] message findings (or a JSON array with -json),
 // and exits 1 when any finding survives suppression, 2 on load errors.

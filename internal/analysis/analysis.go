@@ -82,14 +82,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Default returns the standard januslint analyzer suite with its
 // production scoping: floatcmp guards the numerically delicate solver
-// packages, detrand guards all non-test internal code, lockcheck and
-// errdrop run everywhere.
+// packages, detrand guards all non-test internal code, ctxleak guards the
+// long-lived server/runtime/dataplane layers where a leaked goroutine
+// survives for the life of the controller, and the rest — lockcheck,
+// errdrop, and the CFG-backed mutexcopy/deferloop/layercheck — run
+// everywhere (layercheck self-scopes to the packages layers.json names).
 func Default() []*Analyzer {
 	fc := FloatCmp()
 	fc.Paths = []string{"internal/lp", "internal/milp", "internal/core"}
 	dr := DetRand()
 	dr.Paths = []string{"internal/"}
-	return []*Analyzer{fc, dr, LockCheck(), ErrDrop()}
+	cl := CtxLeak()
+	cl.Paths = []string{"internal/server", "internal/runtime", "internal/dataplane"}
+	return []*Analyzer{
+		fc, dr, LockCheck(), ErrDrop(),
+		MutexCopy(), cl, DeferLoop(), LayerCheck(),
+	}
 }
 
 // Run applies the analyzers to the package, drops suppressed findings, and

@@ -52,8 +52,15 @@ func wantComments(p *Package) map[string][]string {
 func checkFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
 	t.Helper()
 	p := loadFixture(t, name)
-	want := wantComments(p)
 	diags := Run(p, []*Analyzer{a})
+	diffDiags(t, wantComments(p), diags)
+	return diags
+}
+
+// diffDiags matches diagnostics against want-comment expectations, reporting
+// both unexpected and missing findings.
+func diffDiags(t *testing.T, want map[string][]string, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.File, d.Line)
 		checks := want[key]
@@ -75,7 +82,6 @@ func checkFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
 			t.Errorf("missing diagnostic %q at %s", c, key)
 		}
 	}
-	return diags
 }
 
 func TestFloatCmpFixture(t *testing.T)  { checkFixture(t, "floatcmp", FloatCmp()) }
@@ -83,30 +89,104 @@ func TestDetRandFixture(t *testing.T)   { checkFixture(t, "detrand", DetRand()) 
 func TestLockCheckFixture(t *testing.T) { checkFixture(t, "lockcheck", LockCheck()) }
 func TestErrDropFixture(t *testing.T)   { checkFixture(t, "errdrop", ErrDrop()) }
 
-// TestGolden locks the exact rendered output (text and JSON) of the
-// floatcmp fixture against a checked-in golden file.
-func TestGolden(t *testing.T) {
-	p := loadFixture(t, "floatcmp")
-	diags := Run(p, []*Analyzer{FloatCmp()})
-	var b strings.Builder
-	for _, d := range diags {
-		if i := strings.Index(d.File, "testdata"); i >= 0 {
-			d.File = filepath.ToSlash(d.File[i:])
-		}
-		fmt.Fprintf(&b, "%s\n", d)
+func TestMutexCopyFixture(t *testing.T) { checkFixture(t, "mutexcopy", MutexCopy()) }
+func TestCtxLeakFixture(t *testing.T)   { checkFixture(t, "ctxleak", CtxLeak()) }
+func TestDeferLoopFixture(t *testing.T) { checkFixture(t, "deferloop", DeferLoop()) }
+
+// layercheckFixtureRules layers the fixture tree the way layers.json layers
+// production code: lp is the bottom solver layer (imports nothing), server
+// sits on top of core, and stray is deliberately unlayered.
+func layercheckFixtureRules() *LayerRules {
+	const pfx = "janus/internal/analysis/testdata/src/layercheck"
+	return &LayerRules{
+		Module: "janus",
+		Layers: []Layer{
+			{Name: "solver", Packages: []string{pfx + "/lp"}},
+			{Name: "core", Packages: []string{pfx + "/core"}},
+			{Name: "server", Packages: []string{pfx + "/server"}},
+		},
+		Allow: map[string][]string{
+			"solver": {},
+			"core":   {},
+			"server": {"core"},
+		},
 	}
-	goldenPath := filepath.Join("testdata", "floatcmp.golden")
-	if os.Getenv("UPDATE_GOLDEN") != "" {
-		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	golden, err := os.ReadFile(goldenPath)
+}
+
+// layercheckFixtureDiags runs layercheck with fixture rules over every
+// package of the layercheck fixture tree, in package order.
+func layercheckFixtureDiags(t *testing.T) (map[string][]string, []Diagnostic) {
+	t.Helper()
+	pkgs, err := newTestLoader(t).LoadTree(filepath.Join("testdata", "src", "layercheck"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := b.String(); got != string(golden) {
-		t.Errorf("golden mismatch (rerun with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s", got, golden)
+	a := LayerCheckWith(layercheckFixtureRules())
+	want := map[string][]string{}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for key, checks := range wantComments(p) {
+			want[key] = append(want[key], checks...)
+		}
+		diags = append(diags, Run(p, []*Analyzer{a})...)
+	}
+	return want, diags
+}
+
+// TestLayerCheckFixture exercises both finding kinds — a forbidden layer
+// edge and an import missing from the rules — plus suppression.
+func TestLayerCheckFixture(t *testing.T) {
+	want, diags := layercheckFixtureDiags(t)
+	diffDiags(t, want, diags)
+}
+
+// TestGolden locks the exact rendered output of each fixture against a
+// checked-in golden file (rerun with UPDATE_GOLDEN=1 to regenerate).
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		diags func(t *testing.T) []Diagnostic
+	}{
+		{"floatcmp", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "floatcmp"), []*Analyzer{FloatCmp()})
+		}},
+		{"mutexcopy", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "mutexcopy"), []*Analyzer{MutexCopy()})
+		}},
+		{"ctxleak", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "ctxleak"), []*Analyzer{CtxLeak()})
+		}},
+		{"deferloop", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "deferloop"), []*Analyzer{DeferLoop()})
+		}},
+		{"layercheck", func(t *testing.T) []Diagnostic {
+			_, diags := layercheckFixtureDiags(t)
+			return diags
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			for _, d := range tc.diags(t) {
+				if i := strings.Index(d.File, "testdata"); i >= 0 {
+					d.File = filepath.ToSlash(d.File[i:])
+				}
+				fmt.Fprintf(&b, "%s\n", d)
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.String(); got != string(golden) {
+				t.Errorf("golden mismatch (rerun with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s", got, golden)
+			}
+		})
 	}
 }
 
@@ -178,7 +258,11 @@ func TestLoadTree(t *testing.T) {
 	for _, p := range pkgs {
 		names = append(names, p.Types.Name())
 	}
-	want := []string{"allowform", "detrand", "errdrop", "floatcmp", "lockcheck"}
+	want := []string{
+		"allowform", "ctxleak", "deferloop", "detrand", "errdrop", "floatcmp",
+		"core", "lp", "server", "stray", // layercheck/* in import-path order
+		"lockcheck", "mutexcopy",
+	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("LoadTree packages = %v, want %v", names, want)
 	}
@@ -186,9 +270,19 @@ func TestLoadTree(t *testing.T) {
 
 // TestDefaultScoping verifies the production path restrictions: floatcmp
 // must not fire outside the solver packages, detrand never outside
-// internal/.
+// internal/, ctxleak only in the long-lived layers, and the CFG-backed
+// checks everywhere.
 func TestDefaultScoping(t *testing.T) {
-	for _, a := range Default() {
+	suite := Default()
+	if len(suite) != 8 {
+		t.Fatalf("Default() has %d analyzers, want 8", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
 		switch a.Name {
 		case "floatcmp":
 			if a.applies("janus/internal/server") {
@@ -204,10 +298,63 @@ func TestDefaultScoping(t *testing.T) {
 			if !a.applies("janus/internal/paths") {
 				t.Error("detrand should apply to internal/paths")
 			}
-		case "lockcheck", "errdrop":
+		case "ctxleak":
+			if a.applies("janus/internal/lp") {
+				t.Error("ctxleak should not apply to internal/lp")
+			}
+			if !a.applies("janus/internal/server") || !a.applies("janus/internal/runtime") {
+				t.Error("ctxleak should apply to internal/server and internal/runtime")
+			}
+		case "lockcheck", "errdrop", "mutexcopy", "deferloop", "layercheck":
 			if !a.applies("janus/cmd/janus") || !a.applies("janus/internal/server") {
 				t.Errorf("%s should apply everywhere", a.Name)
 			}
 		}
+	}
+}
+
+// TestLoadLayerRules validates both the checked-in production layers.json
+// and the validation errors for malformed rule files.
+func TestLoadLayerRules(t *testing.T) {
+	rules, err := LoadLayerRules("layers.json")
+	if err != nil {
+		t.Fatalf("production layers.json must load: %v", err)
+	}
+	if rules.Module != "janus" {
+		t.Errorf("module = %q, want janus", rules.Module)
+	}
+	if got := rules.layerOf("janus/internal/lp"); got != "solver" {
+		t.Errorf("layerOf(internal/lp) = %q, want solver", got)
+	}
+	if got := rules.layerOf("janus/internal/lp/simplex"); got != "solver" {
+		t.Errorf("layerOf(internal/lp/simplex) = %q, want solver (prefix match)", got)
+	}
+	if got := rules.layerOf("janus/internal/lpx"); got != "" {
+		t.Errorf("layerOf(internal/lpx) = %q, want \"\" (no partial-segment match)", got)
+	}
+	if got := rules.layerOf("janus/cmd/janusd"); got != "" {
+		t.Errorf("layerOf(cmd/janusd) = %q, want unlayered", got)
+	}
+	if !rules.allowed("server", "engine") || rules.allowed("solver", "server") {
+		t.Error("allow table does not match layers.json")
+	}
+
+	bad := map[string]string{
+		"missing-module.json": `{"layers":[{"name":"a","packages":["m/a"]}]}`,
+		"dup-layer.json":      `{"module":"m","layers":[{"name":"a","packages":["m/a"]},{"name":"a","packages":["m/b"]}]}`,
+		"unknown-allow.json":  `{"module":"m","layers":[{"name":"a","packages":["m/a"]}],"allow":{"a":["ghost"]}}`,
+	}
+	dir := t.TempDir()
+	for name, content := range bad {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadLayerRules(path); err == nil {
+			t.Errorf("LoadLayerRules(%s) should fail", name)
+		}
+	}
+	if _, err := LoadLayerRules(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("LoadLayerRules on a missing file should fail")
 	}
 }

@@ -1,0 +1,133 @@
+package cfg
+
+// Direction selects which way facts propagate through the graph.
+type Direction int
+
+const (
+	// Forward propagates facts from Entry along Succs edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit along Preds edges.
+	Backward
+)
+
+// Analysis defines one iterative dataflow problem over a Graph. The fact
+// type F must form a join-semilattice under Join with Bottom as identity,
+// and Transfer must be monotone, or the fixpoint may not terminate.
+type Analysis[F any] struct {
+	Dir Direction
+	// Boundary is the fact entering the start block: Entry's input for a
+	// Forward analysis, Exit's input for a Backward one.
+	Boundary F
+	// Bottom returns the initial fact for every other block. It is called
+	// once per block, so returning a fresh mutable value is safe.
+	Bottom func() F
+	// Join merges facts where control paths meet. It must not mutate its
+	// arguments.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal; the fixpoint stops when
+	// no block's output changes.
+	Equal func(a, b F) bool
+	// Transfer computes a block's output fact from its input fact. It
+	// must not mutate in.
+	Transfer func(b *Block, in F) F
+}
+
+// Fixpoint runs the analysis to convergence with a worklist seeded in
+// reverse postorder (or its reverse, for Backward) and returns each
+// reachable block's input fact — the join over its incoming edges. To
+// report diagnostics at statement granularity, replay Transfer over the
+// returned inputs.
+func Fixpoint[F any](g *Graph, a Analysis[F]) map[*Block]F {
+	order := g.ReversePostorder()
+	start := g.Entry
+	next := func(b *Block) []*Block { return b.Succs }
+	prev := func(b *Block) []*Block { return b.Preds }
+	if a.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		start = g.Exit
+		next, prev = prev, next
+	}
+	reachable := make(map[*Block]bool, len(order))
+	for _, b := range order {
+		reachable[b] = true
+	}
+
+	in := make(map[*Block]F, len(order))
+	out := make(map[*Block]F, len(order))
+	queued := make(map[*Block]bool, len(order))
+	queue := make([]*Block, 0, len(order))
+	for _, b := range order {
+		queue = append(queue, b)
+		queued[b] = true
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		fact := a.Bottom()
+		if b == start {
+			fact = a.Join(fact, a.Boundary)
+		}
+		for _, p := range prev(b) {
+			if o, ok := out[p]; ok {
+				fact = a.Join(fact, o)
+			}
+		}
+		in[b] = fact
+		nf := a.Transfer(b, fact)
+		if o, ok := out[b]; ok && a.Equal(o, nf) {
+			continue
+		}
+		out[b] = nf
+		for _, s := range next(b) {
+			if reachable[s] && !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}
+
+// Union returns a ∪ b without mutating either; it aliases an argument
+// when the other adds nothing, so callers must treat facts as immutable
+// (as Analysis already requires).
+func Union[T comparable](a, b map[T]bool) map[T]bool {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	merged := make(map[T]bool, len(a)+len(b))
+	for k := range a {
+		merged[k] = true
+	}
+	added := false
+	for k := range b {
+		if !merged[k] {
+			merged[k] = true
+			added = true
+		}
+	}
+	if !added {
+		return a
+	}
+	return merged
+}
+
+// EqualSets reports whether two set-valued facts hold the same keys.
+func EqualSets[T comparable](a, b map[T]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"janus/internal/analysis/cfg"
+)
+
+// CtxLeak returns the ctxleak analyzer: it flags goroutines whose body can
+// block forever on a channel operation while no cancellation signal — a
+// context.Context or a done-style channel — reaches the goroutine at all.
+// Such goroutines outlive the work that spawned them; in a controller
+// serving millions of users they pile up until the process dies.
+//
+// A goroutine is considered cancellable if its function references any
+// value of type context.Context (a ctx parameter, a captured ctx, a
+// ctx.Done() call) or a `chan struct{}` whose name reads like a lifetime
+// signal (done, stop, quit, shutdown, ...). Blocking operations are
+// channel sends/receives, ranging over a channel, and selects without a
+// default clause; operations only reachable through dead code are ignored
+// (control-flow graph reachability), and a receive inside a select that
+// has a default clause does not block.
+//
+// In Default() the check is scoped to internal/server, internal/runtime,
+// and internal/dataplane — the long-lived layers where a leaked goroutine
+// survives for the life of the controller.
+func CtxLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxleak",
+		Doc:  "flags goroutines that can block forever with no context or done channel in scope",
+	}
+	a.Run = func(pass *Pass) {
+		// Map package functions to their declarations so `go f()` can be
+		// followed to f's body.
+		decls := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						decls[fn] = fd
+					}
+				}
+			}
+		}
+		pass.inspect(func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pass.Pkg.Info, gs, decls)
+			if body == nil {
+				return true
+			}
+			if hasCancelSignal(pass.Pkg.Info, body) {
+				return true
+			}
+			if op := firstBlockingOp(pass.Pkg.Info, body); op != nil {
+				pass.Reportf(gs.Pos(),
+					"goroutine can block forever (%s at line %d) with no context.Context or done channel reaching it: plumb a ctx and select on ctx.Done(), or annotate //janus:allow ctxleak <reason>",
+					blockingOpDesc(op), pass.Pkg.Fset.Position(op.Pos()).Line)
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// goroutineBody resolves the function body a go statement runs: a literal
+// body, or the declaration of a same-package function.
+func goroutineBody(info *types.Info, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasCancelSignal reports whether the body references a context.Context
+// value or a done-style chan struct{} anywhere (nested literals included:
+// a cancellation signal threaded into a helper closure still governs the
+// goroutine's lifetime).
+func hasCancelSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if isContextType(obj.Type()) {
+			found = true
+		} else if isDoneChan(obj.Type()) && isDoneName(id.Name) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDoneChan matches chan struct{} / <-chan struct{}, the conventional
+// shape of a lifetime signal.
+func isDoneChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isDoneName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "exit", "close", "shutdown", "cancel"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstBlockingOp returns a reachable channel operation that can block
+// forever, or nil. The body's own control-flow graph decides
+// reachability and whether a select has a default clause.
+func firstBlockingOp(info *types.Info, body *ast.BlockStmt) ast.Node {
+	g := cfg.New(body)
+	reachable := g.Reachable()
+
+	// Comm statements of selects that carry a default clause never block.
+	nonBlocking := map[ast.Node]bool{}
+	for _, b := range g.Blocks {
+		if b.Select == nil {
+			continue
+		}
+		hasDefault := false
+		for _, c := range b.Select.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range b.Select.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					nonBlocking[comm] = true
+				}
+			}
+		} else if len(b.Select.Body.List) == 0 {
+			return b.Select // select{} blocks forever
+		}
+	}
+
+	var op ast.Node
+	for _, b := range g.Blocks {
+		if !reachable[b] || op != nil {
+			continue
+		}
+		if r := b.Range; r != nil {
+			if t := exprType(info, r.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					op = r.X
+					continue
+				}
+			}
+		}
+		for _, n := range b.Nodes {
+			if nonBlocking[n] {
+				continue
+			}
+			inspectSkipFuncLit(n, func(n ast.Node) {
+				if op != nil {
+					return
+				}
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					op = n
+				case *ast.UnaryExpr:
+					if n.Op.String() == "<-" {
+						op = n
+					}
+				}
+			})
+			if op != nil {
+				break
+			}
+		}
+	}
+	return op
+}
+
+func blockingOpDesc(n ast.Node) string {
+	switch n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.SelectStmt:
+		return "empty select"
+	default:
+		return "channel receive"
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// LayerRules is the checked-in architecture contract: every module
+// package belongs to at most one named layer, and each layer declares
+// which layers it may import. The production rules live in
+// internal/analysis/layers.json at the module root; DESIGN.md mirrors the
+// table.
+type LayerRules struct {
+	// Module is the module path; only imports under it are checked.
+	Module string `json:"module"`
+	// Layers lists the layers bottom-up. Packages are import-path
+	// prefixes: "janus/internal/analysis" also covers its subpackages.
+	Layers []Layer `json:"layers"`
+	// Allow maps a layer to the other layers it may import. Imports
+	// within one layer are always allowed.
+	Allow map[string][]string `json:"allow"`
+}
+
+// Layer is one named stratum of the import DAG.
+type Layer struct {
+	Name     string   `json:"name"`
+	Packages []string `json:"packages"`
+}
+
+// LoadLayerRules reads and validates a layers.json file.
+func LoadLayerRules(path string) (*LayerRules, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("layercheck: %w", err)
+	}
+	var r LayerRules
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("layercheck: parsing %s: %w", path, err)
+	}
+	if r.Module == "" {
+		return nil, fmt.Errorf("layercheck: %s: missing \"module\"", path)
+	}
+	names := map[string]bool{}
+	for _, l := range r.Layers {
+		if l.Name == "" || len(l.Packages) == 0 {
+			return nil, fmt.Errorf("layercheck: %s: layer needs a name and packages", path)
+		}
+		if names[l.Name] {
+			return nil, fmt.Errorf("layercheck: %s: duplicate layer %q", path, l.Name)
+		}
+		names[l.Name] = true
+	}
+	for from, tos := range r.Allow {
+		if !names[from] {
+			return nil, fmt.Errorf("layercheck: %s: allow rule for unknown layer %q", path, from)
+		}
+		for _, to := range tos {
+			if !names[to] {
+				return nil, fmt.Errorf("layercheck: %s: layer %q allows unknown layer %q", path, from, to)
+			}
+		}
+	}
+	return &r, nil
+}
+
+// layerOf returns the layer owning the import path: the longest declared
+// package prefix that matches on a path boundary, or "" for unlayered
+// packages (cmd, examples, the module root).
+func (r *LayerRules) layerOf(path string) string {
+	best, bestLen := "", -1
+	for _, l := range r.Layers {
+		for _, p := range l.Packages {
+			if (path == p || strings.HasPrefix(path, p+"/")) && len(p) > bestLen {
+				best, bestLen = l.Name, len(p)
+			}
+		}
+	}
+	return best
+}
+
+func (r *LayerRules) allowed(from, to string) bool {
+	for _, l := range r.Allow[from] {
+		if l == to {
+			return true
+		}
+	}
+	return false
+}
+
+// LayerCheckWith returns the layercheck analyzer bound to explicit rules
+// (used by tests; production code uses LayerCheck, which loads the
+// checked-in layers.json).
+func LayerCheckWith(rules *LayerRules) *Analyzer {
+	a := &Analyzer{
+		Name: "layercheck",
+		Doc:  "enforces the package-import DAG declared in internal/analysis/layers.json",
+	}
+	a.Run = func(pass *Pass) {
+		runLayerCheck(pass, rules)
+	}
+	return a
+}
+
+// LayerCheck returns the layercheck analyzer. The rules are loaded once
+// from internal/analysis/layers.json under the module root of the first
+// analyzed package; a missing or malformed file is itself a finding (the
+// contract must exist for the check to mean anything).
+func LayerCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "layercheck",
+		Doc:  "enforces the package-import DAG declared in internal/analysis/layers.json",
+	}
+	var (
+		once     sync.Once
+		rules    *LayerRules
+		loadErr  error
+		reported bool
+	)
+	a.Run = func(pass *Pass) {
+		once.Do(func() {
+			root, _, err := findModule(pass.Pkg.Dir)
+			if err != nil {
+				loadErr = err
+				return
+			}
+			rules, loadErr = LoadLayerRules(filepath.Join(root, "internal", "analysis", "layers.json"))
+		})
+		if loadErr != nil {
+			if !reported {
+				reported = true
+				pass.Reportf(pass.Pkg.Files[0].Package, "cannot load layer rules: %v", loadErr)
+			}
+			return
+		}
+		runLayerCheck(pass, rules)
+	}
+	return a
+}
+
+func runLayerCheck(pass *Pass, rules *LayerRules) {
+	from := rules.layerOf(pass.Pkg.Path)
+	if from == "" {
+		return // unlayered packages (cmd, examples) may import anything
+	}
+	internalPrefix := rules.Module + "/internal/"
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != rules.Module && !strings.HasPrefix(path, rules.Module+"/") {
+				continue // outside the module: stdlib etc.
+			}
+			to := rules.layerOf(path)
+			if to == "" {
+				if strings.HasPrefix(path, internalPrefix) {
+					pass.Reportf(imp.Pos(),
+						"import %s is not declared in layers.json: add it to a layer so the architecture contract stays total, or annotate //janus:allow layercheck <reason>",
+						path)
+				}
+				continue
+			}
+			if to == from {
+				continue
+			}
+			if !rules.allowed(from, to) {
+				allowed := "none"
+				if len(rules.Allow[from]) > 0 {
+					allowed = strings.Join(rules.Allow[from], ", ")
+				}
+				pass.Reportf(imp.Pos(),
+					"layer %s (package %s) must not import layer %s (%s): allowed layers are %s, or annotate //janus:allow layercheck <reason>",
+					from, pass.Pkg.Path, to, path, allowed)
+			}
+		}
+	}
+}

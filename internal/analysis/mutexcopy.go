@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"janus/internal/analysis/cfg"
+)
+
+// MutexCopy returns the mutexcopy analyzer: it flags values whose type
+// transitively contains a sync.Mutex or sync.RWMutex being copied —
+// assigned, passed as a call argument, or ranged over — *after* the lock
+// has been used. The flow-sensitivity matters: copying a zero-value
+// struct while wiring it up is idiomatic Go; copying it once its mutex is
+// in service silently forks the lock, and the two copies stop excluding
+// each other.
+//
+// The "locked" facts are computed per function with a forward may-analysis
+// over the control-flow graph (internal/analysis/cfg): a variable is
+// considered locked at a point if any path from the function entry locks
+// it (or a mutex reached through it) before that point. Ranging over a
+// slice/array/map whose element type contains a mutex is flagged
+// unconditionally — every iteration copies a lock, and there is no safe
+// window.
+func MutexCopy() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexcopy",
+		Doc:  "flags by-value copies of mutex-bearing values after first lock use",
+	}
+	a.Run = func(pass *Pass) {
+		for _, body := range functionBodies(pass.Pkg.Files) {
+			runMutexCopy(pass, body)
+		}
+	}
+	return a
+}
+
+// lockedFact is the dataflow fact: the set of root variables through which
+// some mutex may already have been locked.
+type lockedFact = map[types.Object]bool
+
+func runMutexCopy(pass *Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	transfer := func(b *cfg.Block, in lockedFact) lockedFact {
+		return mutexCopyScan(pass, b, in, false)
+	}
+	in := cfg.Fixpoint(g, cfg.Analysis[lockedFact]{
+		Dir:      cfg.Forward,
+		Boundary: lockedFact{},
+		Bottom:   func() lockedFact { return nil },
+		Join:     cfg.Union[types.Object],
+		Equal:    cfg.EqualSets[types.Object],
+		Transfer: transfer,
+	})
+	for b, fact := range in {
+		mutexCopyScan(pass, b, fact, true)
+	}
+}
+
+// mutexCopyScan walks one block with the incoming locked set, returning
+// the outgoing set. With report set, it emits diagnostics for copies of
+// locked values (the replay pass, after the fixpoint has converged).
+func mutexCopyScan(pass *Pass, b *cfg.Block, in lockedFact, report bool) lockedFact {
+	info := pass.Pkg.Info
+	locked := in
+
+	// mark records a lock use reached through expr's root variable.
+	mark := func(e ast.Expr) {
+		if obj := rootVar(info, e); obj != nil {
+			if locked[obj] {
+				return
+			}
+			next := make(lockedFact, len(locked)+1)
+			for k := range locked {
+				next[k] = true
+			}
+			next[obj] = true
+			locked = next
+		}
+	}
+	// checkCopy flags path expressions of mutex-bearing value type whose
+	// root is in the locked set.
+	checkCopy := func(e ast.Expr, what string) {
+		if !isPathExpr(e) {
+			return
+		}
+		t := info.Types[e].Type
+		if t == nil || !containsMutex(t, nil) {
+			return
+		}
+		obj := rootVar(info, e)
+		if obj == nil || !locked[obj] {
+			return
+		}
+		if report {
+			pass.Reportf(e.Pos(),
+				"%s copies %s (type %s contains a sync.Mutex) after first lock use: use a pointer, or annotate //janus:allow mutexcopy <reason>",
+				what, types.ExprString(e), t)
+		}
+	}
+
+	if r := b.Range; r != nil && r.Value != nil {
+		if t := exprType(info, r.Value); t != nil && containsMutex(t, nil) {
+			if report {
+				pass.Reportf(r.Value.Pos(),
+					"range copies each element into %s (type %s contains a sync.Mutex): iterate by index or store pointers, or annotate //janus:allow mutexcopy <reason>",
+					types.ExprString(r.Value), t)
+			}
+		}
+	}
+	for _, n := range b.Nodes {
+		inspectSkipFuncLit(n, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isLockName(sel.Sel.Name) {
+					mark(sel.X)
+				}
+				for _, arg := range n.Args {
+					checkCopy(arg, "call argument")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopy(rhs, "assignment")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					checkCopy(res, "return")
+				}
+			}
+		})
+	}
+	return locked
+}
+
+// exprType resolves an expression's type, falling back to the defining
+// object for identifiers introduced by the expression itself (a range
+// value variable is a definition, not a use, so info.Types misses it).
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isLockName(name string) bool {
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// isPathExpr reports whether e denotes a storage location chain rooted at
+// a variable — the only expressions whose copy duplicates an existing
+// lock (composite literals and call results are fresh values).
+func isPathExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPathExpr(e.X)
+	case *ast.IndexExpr:
+		return isPathExpr(e.X)
+	case *ast.StarExpr:
+		return isPathExpr(e.X)
+	case *ast.ParenExpr:
+		return isPathExpr(e.X)
+	}
+	return false
+}
+
+// rootVar resolves the variable at the root of a path expression
+// (a in a.b[i].mu), looking through pointers, fields, and indexing.
+func rootVar(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil // fresh value, not a storage path
+		default:
+			return nil
+		}
+	}
+}
+
+// containsMutex reports whether t transitively holds a sync.Mutex/RWMutex
+// by value: through named types, struct fields, and array elements, but
+// not through pointers, slices, maps, or channels (copying those shares
+// the lock instead of forking it).
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if isMutex(u) {
+			return true
+		}
+		return containsMutex(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}
+
+// functionBodies collects every function body in the files: declarations
+// plus function literals, each analyzed as its own intraprocedural unit.
+func functionBodies(files []*ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// inspectSkipFuncLit walks n in preorder, skipping nested function
+// literals: their bodies belong to a different control-flow graph.
+func inspectSkipFuncLit(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,79 @@
+// Package ctxleak is a januslint fixture: lines marked "want ctxleak"
+// must be reported by the ctxleak analyzer.
+package ctxleak
+
+import "context"
+
+func use(int) {}
+
+func spawnLeaky(ch chan int) {
+	go func() { // want ctxleak
+		<-ch
+	}()
+}
+
+func spawnCancellable(ctx context.Context, ch chan int) {
+	go func() { // ok: ctx.Done reaches the receive
+		select {
+		case v := <-ch:
+			use(v)
+		case <-ctx.Done():
+			return
+		}
+	}()
+}
+
+func spawnPoller(ch chan int) {
+	go func() { // ok: the select has a default, nothing blocks
+		for {
+			select {
+			case v := <-ch:
+				use(v)
+			default:
+				return
+			}
+		}
+	}()
+}
+
+func worker(jobs chan int, done chan struct{}) {
+	for {
+		select {
+		case v := <-jobs:
+			use(v)
+		case <-done:
+			return
+		}
+	}
+}
+
+func spawnWorker(jobs chan int, done chan struct{}) {
+	go worker(jobs, done) // ok: the done channel governs the body
+}
+
+func produce(ch chan int) {
+	ch <- 1
+}
+
+func spawnProducer(ch chan int) {
+	go produce(ch) // want ctxleak
+}
+
+func spawnRange(jobs chan int) {
+	go func() { // want ctxleak
+		for v := range jobs {
+			use(v)
+		}
+	}()
+}
+
+func spawnDead(ch chan int) {
+	go func() { // ok: the receive is unreachable
+		return
+		<-ch
+	}()
+}
+
+func spawnAllowed(ch chan int) {
+	go func() { <-ch }() //janus:allow ctxleak fixture: demonstrates suppression
+}

@@ -1,0 +1,76 @@
+// Package deferloop is a januslint fixture: lines marked "want deferloop"
+// must be reported by the deferloop analyzer.
+package deferloop
+
+import "sync"
+
+type res struct{ mu sync.Mutex }
+
+func (r *res) work() {}
+
+type file struct{}
+
+func (file) Close() error       { return nil }
+func open(string) (file, error) { return file{}, nil }
+
+func perItem(items []*res) {
+	for _, r := range items {
+		r.mu.Lock()
+		defer r.mu.Unlock() // want deferloop
+		r.work()
+	}
+}
+
+func viaLiteral(items []*res) {
+	for _, r := range items {
+		func() {
+			r.mu.Lock()
+			defer r.mu.Unlock() // ok: the literal returns every iteration
+			r.work()
+		}()
+	}
+}
+
+func topLevel(r *res) {
+	r.mu.Lock()
+	defer r.mu.Unlock() // ok: not inside a loop
+	r.work()
+}
+
+func nested(items []*res, cond bool) {
+	for i := 0; i < len(items); i++ {
+		if cond {
+			defer items[i].mu.Unlock() // want deferloop
+		}
+	}
+}
+
+func closers(names []string) error {
+	for _, n := range names {
+		f, err := open(n)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want deferloop
+	}
+	return nil
+}
+
+func gotoLoop(r *res) {
+again:
+	r.mu.Lock()
+	defer r.mu.Unlock() // want deferloop
+	if maybe() {
+		goto again
+	}
+}
+
+func maybe() bool { return false }
+
+func allowed(items []*res) {
+	for _, r := range items {
+		r.mu.Lock()
+		defer r.mu.Unlock() //janus:allow deferloop fixture: demonstrates suppression
+		r.work()
+	}
+}

@@ -1,0 +1,6 @@
+// Package core is a januslint layercheck fixture: a mid-layer package
+// with no imports of its own.
+package core
+
+// Value anchors the package so blank imports have something to build.
+const Value = 1

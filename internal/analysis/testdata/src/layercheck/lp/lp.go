@@ -1,0 +1,10 @@
+// Package lp is a januslint layercheck fixture: the bottom (solver)
+// layer, which may import nothing above it. Its import of core is a
+// finding; its import of server demonstrates suppression.
+package lp
+
+import (
+	_ "janus/internal/analysis/testdata/src/layercheck/core" // want layercheck
+	//janus:allow layercheck fixture: demonstrates suppression
+	_ "janus/internal/analysis/testdata/src/layercheck/server"
+)

@@ -1,0 +1,9 @@
+// Package server is a januslint layercheck fixture: the top layer. Its
+// import of core is declared in the fixture rules; its import of stray is
+// not, which is a finding.
+package server
+
+import (
+	_ "janus/internal/analysis/testdata/src/layercheck/core"
+	_ "janus/internal/analysis/testdata/src/layercheck/stray" // want layercheck
+)

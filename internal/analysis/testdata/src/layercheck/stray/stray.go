@@ -1,0 +1,7 @@
+// Package stray is a januslint layercheck fixture: an internal package
+// deliberately missing from the fixture layer rules, so importing it is
+// an undeclared-package finding.
+package stray
+
+// Value anchors the package so blank imports have something to build.
+const Value = 1

@@ -1,0 +1,96 @@
+// Package mutexcopy is a januslint fixture: lines marked "want mutexcopy"
+// must be reported by the mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+type wrapper struct {
+	inner store // transitively contains the mutex
+	hits  int
+}
+
+func sink(s store)     { _ = s }
+func sinkPtr(s *store) { _ = s }
+func sinkW(w wrapper)  { _ = w }
+func observe(hits int) { _ = hits }
+
+// beforeFirstLock copies freely: the zero-value window is idiomatic.
+func beforeFirstLock() store {
+	var s store
+	t := s // ok: never locked yet
+	sink(t)
+	return s // ok: still never locked
+}
+
+func afterLock() {
+	var s store
+	s.mu.Lock()
+	s.mu.Unlock()
+	t := s      // want mutexcopy
+	sink(s)     // want mutexcopy
+	sinkPtr(&s) // ok: pointer, the lock is shared not forked
+	_ = t
+}
+
+// transitive locks through a field mark the whole root.
+func transitive() {
+	var w wrapper
+	w.inner.mu.Lock()
+	w.inner.mu.Unlock()
+	sinkW(w)        // want mutexcopy
+	u := w.inner    // want mutexcopy
+	observe(w.hits) // ok: plain int field copy
+	_ = u
+}
+
+// branchFlow: a lock on one path taints the join — the copy may run after
+// the lock.
+func branchFlow(cond bool) {
+	var s store
+	if cond {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	sink(s) // want mutexcopy
+}
+
+// loopFlow: the lock in iteration one reaches the copy in iteration two
+// via the back edge.
+func loopFlow(n int) {
+	var s store
+	for i := 0; i < n; i++ {
+		sink(s) // want mutexcopy
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// deadCopy sits after a return: no path reaches it, so no finding.
+func deadCopy() {
+	var s store
+	s.mu.Lock()
+	s.mu.Unlock()
+	return
+	sink(s) // ok: unreachable
+}
+
+func rangeCopy(list []store) {
+	for _, s := range list { // want mutexcopy
+		_ = s
+	}
+	for i := range list { // ok: index iteration copies nothing
+		sinkPtr(&list[i])
+	}
+}
+
+func allowed() {
+	var s store
+	s.mu.Lock()
+	s.mu.Unlock()
+	sink(s) //janus:allow mutexcopy fixture: demonstrates suppression
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"janus/internal/policy"
+)
+
+// StartAutoHour launches the temporal ticker: every interval the controller
+// advances the policy clock one hour (wrapping at midnight), so time-of-day
+// policies (§4.2.2) reconfigure without an external scheduler POSTing
+// /events/hour. Ticks before the first successful /configure are no-ops.
+//
+// The goroutine is bound to ctx — cancel it to stop the ticker — and the
+// returned channel closes once the goroutine has exited, so callers can
+// wait for a clean shutdown. logf receives tick errors (log.Printf fits);
+// nil discards them.
+func (s *Server) StartAutoHour(ctx context.Context, interval time.Duration, logf func(string, ...any)) (<-chan struct{}, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("server: auto-hour interval must be positive, got %v", interval)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := s.advanceHour(); err != nil {
+					logf("server: auto-hour: %v", err)
+				}
+			}
+		}
+	}()
+	return done, nil
+}
+
+// advanceHour moves the runtime clock forward one hour of the policy day.
+func (s *Server) advanceHour() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rt == nil {
+		return nil // nothing configured yet; the ticker idles
+	}
+	return s.rt.AdvanceTo((s.rt.Hour() + 1) % policy.HoursPerDay)
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func hourOf(t *testing.T, s *Server) int {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rt == nil {
+		t.Fatal("runtime not configured")
+	}
+	return s.rt.Hour()
+}
+
+// TestStartAutoHour proves the full ticker lifecycle: the policy clock
+// advances on its own once configured, and cancelling the context stops
+// the goroutine (the pattern januslint's ctxleak check enforces).
+func TestStartAutoHour(t *testing.T) {
+	s, _ := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	if code, body := do(t, http.MethodPost, ts.URL+"/configure", "", ""); code != http.StatusOK {
+		t.Fatalf("configure: %d %v", code, body)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done, err := s.StartAutoHour(ctx, time.Millisecond, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for hourOf(t, s) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("auto-hour never advanced the clock")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("auto-hour goroutine did not exit after cancel")
+	}
+	h := hourOf(t, s)
+	time.Sleep(5 * time.Millisecond)
+	if got := hourOf(t, s); got != h {
+		t.Errorf("clock advanced after cancel: %d -> %d", h, got)
+	}
+}
+
+// TestStartAutoHourUnconfigured: ticks before the first /configure are
+// no-ops rather than errors, so the ticker can start at boot.
+func TestStartAutoHourUnconfigured(t *testing.T) {
+	s, _ := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done, err := s.StartAutoHour(ctx, time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // several idle ticks fire
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("auto-hour goroutine did not exit after cancel")
+	}
+}
+
+func TestStartAutoHourBadInterval(t *testing.T) {
+	s, _ := newTestServer(t)
+	if _, err := s.StartAutoHour(context.Background(), 0, nil); err == nil {
+		t.Error("zero interval should be rejected")
+	}
+	if _, err := s.StartAutoHour(context.Background(), -time.Second, nil); err == nil {
+		t.Error("negative interval should be rejected")
+	}
+}

@@ -15,8 +15,8 @@ import (
 	"janus/internal/topo"
 )
 
-// testServer builds a controller over a diamond topology with an H-IDS.
-func testServer(t *testing.T) (*httptest.Server, *topo.Topology) {
+// newTestServer builds a controller over a diamond topology with an H-IDS.
+func newTestServer(t *testing.T) (*Server, *topo.Topology) {
 	t.Helper()
 	tp := topo.NewTopology("srv")
 	a := tp.AddSwitch("a")
@@ -44,6 +44,13 @@ func testServer(t *testing.T) (*httptest.Server, *topo.Topology) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return s, tp
+}
+
+// testServer wraps newTestServer in an httptest server.
+func testServer(t *testing.T) (*httptest.Server, *topo.Topology) {
+	t.Helper()
+	s, tp := newTestServer(t)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, tp
