@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race check
+.PHONY: all build vet lint test test-race chaos check
 
 all: check
 
@@ -21,6 +21,12 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# chaos replays the seeded fault-injection soak (random op failures, a
+# mid-update switch crash, a link flap) under the race detector, asserting
+# the self-audit stays clean and failed updates roll back exactly.
+chaos:
+	$(GO) test -race -count=1 -run TestChaosSoak ./internal/runtime/ -v
 
 # check is the full correctness gate CI runs: compile, vet, januslint,
 # and the test suite under the race detector.

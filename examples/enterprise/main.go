@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 	conf, err := core.New(tp, composed, core.Config{CandidatePaths: 5, Seed: 42})
 	check(err)
 
-	rt, err := runtime.New(conf)
+	rt, err := runtime.New(context.Background(), conf)
 	check(err)
 	fmt.Printf("initial: %d/%d policies configured, %d rules installed\n",
 		rt.Current().SatisfiedCount(), len(rt.Current().Configured), rt.Network().RuleCount())
@@ -85,13 +86,13 @@ func main() {
 	// Stateful escalation: five failed connections trip the >=5 condition
 	// and the flow moves onto its pre-reserved escalation path.
 	for i := 0; i < 5; i++ {
-		check(rt.ReportEvent("m1", "w1", janus.FailedConnections, 1))
+		check(rt.ReportEvent(context.Background(), "m1", "w1", janus.FailedConnections, 1))
 	}
 	fmt.Printf("after IDS alarm: %d stateful reroutes, %d path changes total\n",
 		rt.Metrics().StatefulReroutes, rt.Metrics().PathChanges)
 
 	// Mobility: the marketing user docks at the s6 wing.
-	check(rt.MoveEndpoint("m1", s["s6"]))
+	check(rt.MoveEndpoint(context.Background(), "m1", s["s6"]))
 	fmt.Printf("after mobility: %d reconfigurations, %d path changes, satisfied %d\n",
 		rt.Metrics().Reconfigurations, rt.Metrics().PathChanges,
 		rt.Current().SatisfiedCount())
@@ -105,7 +106,7 @@ func main() {
 		QoS:   janus.QoS{BandwidthMbps: 30}})
 	composed2, err := compose.New(nil).Compose(g1, g2b)
 	check(err)
-	check(rt.UpdateGraph(composed2, core.Config{CandidatePaths: 5, Seed: 42}))
+	check(rt.UpdateGraph(context.Background(), composed2, core.Config{CandidatePaths: 5, Seed: 42}))
 	fmt.Printf("after policy change: satisfied %d, cumulative path changes %d, NF state transfers %d\n",
 		rt.Current().SatisfiedCount(), rt.Metrics().PathChanges, rt.Metrics().NFStateTransfers)
 }

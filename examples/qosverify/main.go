@@ -47,7 +47,8 @@ func main() {
 	fmt.Printf("configured %d/%d policies\n", res.SatisfiedCount(), len(res.Configured))
 
 	net := dataplane.NewNetwork(tp)
-	net.Apply(dataplane.CompileRules(tp, dataplane.NewGraphAdapter(cg), res), res.Assignments)
+	_, err = net.Apply(dataplane.CompileRules(tp, dataplane.NewGraphAdapter(cg), res), res.Assignments)
+	check(err)
 
 	// Offer 400 Mbps onto the 200 Mbps link.
 	sim, err := traffic.Simulate(tp, net, []traffic.Flow{

@@ -1,6 +1,7 @@
 package janus_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -161,7 +162,7 @@ func TestChurnSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := runtime.New(conf)
+	rt, err := runtime.New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,20 +180,20 @@ func TestChurnSequence(t *testing.T) {
 	switches := w.Topo.NodesOfKind(topo.Switch, "")
 	// Endpoint mobility.
 	ep := w.Topo.Endpoints[0].Name
-	if err := rt.MoveEndpoint(ep, switches[len(switches)/2]); err != nil {
+	if err := rt.MoveEndpoint(context.Background(), ep, switches[len(switches)/2]); err != nil {
 		t.Fatal(err)
 	}
 	check("endpoint move")
 
 	// Membership change.
-	if err := rt.RelabelEndpoint(ep, "Visitors"); err != nil {
+	if err := rt.RelabelEndpoint(context.Background(), ep, "Visitors"); err != nil {
 		t.Fatal(err)
 	}
 	check("membership change")
 
 	// Temporal transitions through the full day.
 	for _, h := range []int{8, 16, 23} {
-		if err := rt.AdvanceTo(h); err != nil {
+		if err := rt.AdvanceTo(context.Background(), h); err != nil {
 			t.Fatal(err)
 		}
 		check(fmt.Sprintf("advance to %dh", h))
@@ -206,7 +207,7 @@ func TestChurnSequence(t *testing.T) {
 			continue
 		}
 		l := links[0]
-		if err := rt.FailLink(l[0], l[1]); err != nil {
+		if err := rt.FailLink(context.Background(), l[0], l[1]); err != nil {
 			t.Fatal(err)
 		}
 		check("link failure")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,7 +12,14 @@ import (
 // Configure solves one time period's configuration from scratch.
 // The period is an hour of day (0–23); static policy sets ignore it.
 func (c *Configurator) Configure(period int) (*Result, error) {
-	return c.solvePeriod(period, nil, nil, nil)
+	return c.ConfigureContext(context.Background(), period)
+}
+
+// ConfigureContext is Configure with a cancellation context: cancelling it
+// aborts the branch-and-bound search between node solves (an HTTP client
+// abandoning /configure should not leave the solver running).
+func (c *Configurator) ConfigureContext(ctx context.Context, period int) (*Result, error) {
+	return c.solvePeriod(ctx, period, nil, nil)
 }
 
 // Reconfigure re-solves period prev.Period after environment changes
@@ -20,10 +28,15 @@ func (c *Configurator) Configure(period int) (*Result, error) {
 // assignments (§5.4). Use CountPathChanges(prev, next) to measure the
 // disruption.
 func (c *Configurator) Reconfigure(prev *Result) (*Result, error) {
+	return c.ReconfigureContext(context.Background(), prev)
+}
+
+// ReconfigureContext is Reconfigure with a cancellation context.
+func (c *Configurator) ReconfigureContext(ctx context.Context, prev *Result) (*Result, error) {
 	if prev == nil {
 		return nil, fmt.Errorf("core: Reconfigure requires a previous result")
 	}
-	return c.ReconfigureAt(prev, prev.Period)
+	return c.ReconfigureAtContext(ctx, prev, prev.Period)
 }
 
 // ReconfigureAt re-solves for the given period (which may differ from the
@@ -31,19 +44,27 @@ func (c *Configurator) Reconfigure(prev *Result) (*Result, error) {
 // previous basis and penalizing path changes against the previous
 // assignments.
 func (c *Configurator) ReconfigureAt(prev *Result, period int) (*Result, error) {
+	return c.ReconfigureAtContext(context.Background(), prev, period)
+}
+
+// ReconfigureAtContext is ReconfigureAt with a cancellation context.
+func (c *Configurator) ReconfigureAtContext(ctx context.Context, prev *Result, period int) (*Result, error) {
 	if prev == nil {
 		return nil, fmt.Errorf("core: ReconfigureAt requires a previous result")
 	}
-	var warm *lp.Basis
-	if prev.basis != nil {
-		warm = prev.basis
-	}
-	return c.solvePeriod(period, prev.Assignments, warm, nil)
+	return c.solvePeriod(ctx, period, prev, nil)
 }
 
-// solvePeriod builds and solves the period model.
-func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp.Basis, over bwOverride) (*Result, error) {
+// solvePeriod builds and solves the period model. When the full solve
+// fails to produce an incumbent, it falls down the degradation ladder:
+// best incumbent → rounded LP relaxation → keep the previous configuration
+// → empty configuration, recording the serving tier in Result.Tier.
+func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result, over bwOverride) (*Result, error) {
 	start := time.Now()
+	var prevAssign []Assignment
+	if prev != nil {
+		prevAssign = prev.Assignments
+	}
 	m, err := c.buildModel(period, prevAssign, over)
 	if err != nil {
 		return nil, err
@@ -55,7 +76,11 @@ func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp
 	for _, iv := range m.iVar {
 		prio[iv] = 1
 	}
-	sol, err := solver.Solve(milp.Options{
+	var warm *lp.Basis
+	if prev != nil {
+		warm = prev.basis
+	}
+	sol, err := solver.Solve(ctx, milp.Options{
 		MaxNodes:       c.cfg.MaxNodes,
 		TimeLimit:      c.cfg.TimeLimit,
 		RelGap:         c.cfg.RelGap,
@@ -66,13 +91,37 @@ func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp
 		WarmStart:      warm,
 	})
 	if err != nil {
+		// Cancellation is not a solver failure; never degrade past it.
 		return nil, fmt.Errorf("core: solving period %d: %w", period, err)
 	}
+
+	tier := TierFull
+	switch sol.Status {
+	case milp.Optimal:
+		tier = TierFull
+	case milp.Feasible:
+		// A node/time/stall limit stopped the proof; the incumbent serves.
+		tier = TierIncumbent
+	default:
+		// Limit with no incumbent, Infeasible, or Unbounded. Rung 2: round
+		// the LP relaxation.
+		if rsol, ok := solver.RelaxAndRound(ctx); ok {
+			sol = rsol
+			tier = TierLPRound
+		} else if prev != nil {
+			// Rung 3: keep the previous configuration untouched.
+			return c.keepPrevious(prev, period, m, sol, start), nil
+		} else {
+			tier = TierNone
+		}
+	}
+
 	res := &Result{
 		Period:     period,
 		Configured: make(map[int]bool, len(m.pids)),
 		SlackUsed:  make(map[int]bool),
 		Status:     sol.Status,
+		Tier:       tier,
 		Stats: Stats{
 			Variables:    m.prob.NumVariables(),
 			Constraints:  m.prob.NumConstraints(),
@@ -82,9 +131,9 @@ func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp
 		},
 		basis: sol.RootBasis,
 	}
-	if sol.Status == milp.Infeasible || sol.Status == milp.Unbounded || sol.X == nil {
+	if sol.X == nil {
 		// The model always admits the all-zero solution, so this indicates
-		// a limit hit before any incumbent was found.
+		// a limit hit before any incumbent was found (and rung 2 failed).
 		for _, pid := range m.pids {
 			res.Configured[pid] = false
 		}
@@ -131,4 +180,36 @@ func (c *Configurator) solvePeriod(period int, prevAssign []Assignment, warm *lp
 		res.Links = append(res.Links, use)
 	}
 	return res, nil
+}
+
+// keepPrevious is the last resort of the degradation ladder: the period's
+// solve produced nothing usable, so the previous configuration is served
+// verbatim — stale paths beat no paths, and because the assignments are
+// identical the dataplane sees zero rule churn.
+func (c *Configurator) keepPrevious(prev *Result, period int, m *model, failed *milp.Solution, start time.Time) *Result {
+	res := &Result{
+		Period:      period,
+		Configured:  make(map[int]bool, len(prev.Configured)),
+		SlackUsed:   make(map[int]bool, len(prev.SlackUsed)),
+		Assignments: append([]Assignment(nil), prev.Assignments...),
+		Objective:   prev.Objective,
+		Links:       append([]LinkUse(nil), prev.Links...),
+		Status:      failed.Status,
+		Tier:        TierKeepPrevious,
+		Stats: Stats{
+			Variables:    m.prob.NumVariables(),
+			Constraints:  m.prob.NumConstraints(),
+			Nodes:        failed.Nodes,
+			LPIterations: failed.LPIterations,
+			Duration:     time.Since(start),
+		},
+		basis: prev.basis,
+	}
+	for pid, ok := range prev.Configured {
+		res.Configured[pid] = ok
+	}
+	for pid, used := range prev.SlackUsed {
+		res.SlackUsed[pid] = used
+	}
+	return res
 }

@@ -198,6 +198,51 @@ type LinkUse struct {
 	ShadowPrice float64
 }
 
+// DegradationTier records which rung of the solver degradation ladder
+// served a configuration. A production controller cannot return "no
+// config" when a solve blows its deadline: it falls through progressively
+// cheaper answers, trading optimality for availability.
+type DegradationTier int
+
+// Degradation ladder rungs, best first.
+const (
+	// TierFull is a proven-optimal (within RelGap) solve.
+	TierFull DegradationTier = iota
+	// TierIncumbent served the best incumbent after a node/time/stall
+	// limit stopped the optimality proof.
+	TierIncumbent
+	// TierLPRound served a rounded LP relaxation because branch and bound
+	// found no incumbent within its budget.
+	TierLPRound
+	// TierKeepPrevious kept the previous period's configuration untouched:
+	// the solve failed outright and serving stale paths beats serving none.
+	TierKeepPrevious
+	// TierNone is the empty configuration: the solve failed and there was
+	// no previous configuration to fall back to.
+	TierNone
+)
+
+func (t DegradationTier) String() string {
+	switch t {
+	case TierFull:
+		return "full"
+	case TierIncumbent:
+		return "incumbent"
+	case TierLPRound:
+		return "lp-round"
+	case TierKeepPrevious:
+		return "keep-previous"
+	case TierNone:
+		return "none"
+	default:
+		return fmt.Sprintf("DegradationTier(%d)", int(t))
+	}
+}
+
+// Degraded reports whether the tier is below a normal solve (full or
+// best-incumbent — the paper's heuristic accepts incumbents by design).
+func (t DegradationTier) Degraded() bool { return t >= TierLPRound }
+
 // Stats aggregates solver effort.
 type Stats struct {
 	Variables    int
@@ -226,7 +271,11 @@ type Result struct {
 	Links []LinkUse
 	// Status is the underlying MILP status.
 	Status milp.Status
-	Stats  Stats
+	// Tier records which rung of the degradation ladder produced this
+	// result (full solve, best incumbent, rounded relaxation, or the
+	// previous configuration kept verbatim).
+	Tier  DegradationTier
+	Stats Stats
 
 	basis *lp.Basis
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,7 +45,7 @@ func (c *Configurator) CheckFeasibility(period int) (*FeasibilityReport, error) 
 		}
 	}
 	solver := milp.NewSolver(m.prob, m.integers)
-	sol, err := solver.Solve(milp.Options{
+	sol, err := solver.Solve(context.Background(), milp.Options{
 		MaxNodes:  c.cfg.MaxNodes,
 		TimeLimit: c.cfg.TimeLimit,
 		RelGap:    c.cfg.RelGap,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,13 +43,7 @@ func (c *Configurator) configureTemporal(over bwOverride) (*TemporalResult, erro
 	tr := &TemporalResult{Periods: periods}
 	var prev *Result
 	for _, h := range periods {
-		var prevAssign []Assignment
-		var warm *lp.Basis
-		if prev != nil {
-			prevAssign = prev.Assignments
-			warm = prev.basis
-		}
-		res, err := c.solvePeriod(h, prevAssign, warm, over)
+		res, err := c.solvePeriod(context.Background(), h, prev, over)
 		if err != nil {
 			return nil, fmt.Errorf("core: temporal chain at %dh: %w", h, err)
 		}
@@ -91,7 +86,7 @@ func (c *Configurator) ConfigureTemporalIndependent() (*TemporalResult, error) {
 				errs[i] = fmt.Errorf("core: independent chain at %dh: %w", h, err)
 				return
 			}
-			res, err := fresh.solvePeriod(h, nil, nil, nil)
+			res, err := fresh.solvePeriod(context.Background(), h, nil, nil)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: independent chain at %dh: %w", h, err)
 				return
@@ -202,7 +197,7 @@ func (c *Configurator) ConfigureTemporalJoint() (*TemporalResult, error) {
 		}
 	}
 
-	sol, err := milp.NewSolver(prob, integers).Solve(milp.Options{
+	sol, err := milp.NewSolver(prob, integers).Solve(context.Background(), milp.Options{
 		MaxNodes:  c.cfg.MaxNodes,
 		TimeLimit: c.cfg.TimeLimit,
 		RelGap:    c.cfg.RelGap,

@@ -77,6 +77,8 @@ type Network struct {
 	// moving a flow to a path using a different box of the same kind
 	// requires a state transfer (§2.2 / OpenNF).
 	nfState map[string]topo.NodeID
+	// faults, when non-nil, makes every table operation fallible (fault.go).
+	faults *faultState
 }
 
 // NewNetwork builds the dataplane for a topology. Every node gets a flow
@@ -183,47 +185,29 @@ type matchLookup interface {
 }
 
 // Apply installs a rule set, replacing the previous configuration, and
-// returns the delta report. NF state transfers are detected by comparing,
-// per flow and NF kind, which NF box the old and new paths traverse.
-func (n *Network) Apply(rules []Rule, assignments []core.Assignment) CompileResult {
-	var rep CompileResult
-	next := make(map[string]Rule, len(rules))
-	for _, r := range rules {
-		next[r.Key()] = r
+// returns the delta report. It is the bulk path over the same fallible,
+// transactional machinery as PlanUpdate/ApplyPlan: every table operation
+// runs the fault-injection gauntlet, and on any failure the network is
+// rolled back to the exact pre-apply rule set and the error returned. NF
+// state transfers are detected by comparing, per flow and NF kind, which
+// NF box the old and new paths traverse.
+func (n *Network) Apply(rules []Rule, assignments []core.Assignment) (CompileResult, error) {
+	plan := n.PlanUpdate(rules)
+	if err := n.ApplyPlan(plan); err != nil {
+		n.RollbackPlan(plan)
+		return CompileResult{}, err
 	}
-	touched := map[topo.NodeID]bool{}
+	rep := plan.Report()
+	rep.NFStateTransfers = n.AccountNFState(assignments)
+	return rep, nil
+}
 
-	for _, sw := range n.switches {
-		for key, old := range sw.Table.rules {
-			if repl, ok := next[key]; ok {
-				if repl.action() != old.action() {
-					rep.RulesUpdated++
-					touched[old.Switch] = true
-					sw.Table.rules[key] = repl
-				}
-			} else {
-				rep.RulesRemoved++
-				touched[old.Switch] = true
-				delete(sw.Table.rules, key)
-			}
-		}
-	}
-	for key, r := range next {
-		sw, ok := n.switches[r.Switch]
-		if !ok {
-			continue
-		}
-		if _, exists := sw.Table.rules[key]; !exists {
-			rep.RulesInstalled++
-			touched[r.Switch] = true
-			sw.Table.rules[key] = r
-		}
-	}
-	rep.SwitchesTouched = len(touched)
-
-	// NF state accounting: for each hard assignment, find the NF boxes its
-	// path traverses; a flow whose state lived on a different box of the
-	// same kind pays one transfer.
+// AccountNFState updates the per-flow middlebox state ledger for the given
+// assignments and returns the number of state transfers: for each hard
+// assignment, a flow whose state lived on a different NF box of the same
+// kind pays one transfer (§2.2 / OpenNF).
+func (n *Network) AccountNFState(assignments []core.Assignment) int {
+	transfers := 0
 	for _, a := range assignments {
 		if a.Role != core.HardEdge {
 			continue
@@ -239,12 +223,12 @@ func (n *Network) Apply(rules []Rule, assignments []core.Assignment) CompileResu
 			}
 			key := flow + "|" + string(kind)
 			if prev, ok := n.nfState[key]; ok && prev != node {
-				rep.NFStateTransfers++
+				transfers++
 			}
 			n.nfState[key] = node
 		}
 	}
-	return rep
+	return transfers
 }
 
 // statefulNF reports whether a middlebox kind carries per-flow state that

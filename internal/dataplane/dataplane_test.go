@@ -69,7 +69,7 @@ func TestCompileAndApply(t *testing.T) {
 	if len(rules) == 0 {
 		t.Fatal("no rules compiled")
 	}
-	rep := n.Apply(rules, res.Assignments)
+	rep, _ := n.Apply(rules, res.Assignments)
 	if rep.RulesInstalled != len(rules) {
 		t.Errorf("installed %d, want %d", rep.RulesInstalled, len(rules))
 	}
@@ -98,7 +98,7 @@ func TestApplyIdempotent(t *testing.T) {
 	n := NewNetwork(tp)
 	rules := CompileRules(tp, NewGraphAdapter(cg), res)
 	n.Apply(rules, res.Assignments)
-	rep := n.Apply(rules, res.Assignments)
+	rep, _ := n.Apply(rules, res.Assignments)
 	if rep.RulesInstalled != 0 || rep.RulesUpdated != 0 || rep.RulesRemoved != 0 {
 		t.Errorf("re-applying same rules should be a no-op: %+v", rep)
 	}
@@ -151,7 +151,7 @@ func TestRuleDiffOnPathChange(t *testing.T) {
 		a2.Path = pathFromNames(t, tp, "a", "b", "c", "d")
 		mod.Assignments = append(mod.Assignments, a2)
 	}
-	rep := n.Apply(CompileRules(tp, adapter, mod), mod.Assignments)
+	rep, _ := n.Apply(CompileRules(tp, adapter, mod), mod.Assignments)
 	if rep.RulesUpdated == 0 && rep.RulesInstalled == 0 {
 		t.Error("path change should modify rules")
 	}
@@ -192,15 +192,15 @@ func TestNFStateTransferOnBoxChange(t *testing.T) {
 			Path: pathOfIDs(a, mid, b), BW: 5,
 		}}
 	}
-	rep := n.Apply(nil, asg(ids1))
+	rep, _ := n.Apply(nil, asg(ids1))
 	if rep.NFStateTransfers != 0 {
 		t.Errorf("first placement transfers = %d, want 0", rep.NFStateTransfers)
 	}
-	rep = n.Apply(nil, asg(ids1))
+	rep, _ = n.Apply(nil, asg(ids1))
 	if rep.NFStateTransfers != 0 {
 		t.Errorf("same box transfers = %d, want 0", rep.NFStateTransfers)
 	}
-	rep = n.Apply(nil, asg(ids2))
+	rep, _ = n.Apply(nil, asg(ids2))
 	if rep.NFStateTransfers != 1 {
 		t.Errorf("box change transfers = %d, want 1", rep.NFStateTransfers)
 	}

@@ -25,6 +25,12 @@ import (
 //
 // The phases of independent flows are merged, so a whole reconfiguration
 // applies in three waves of switch updates.
+//
+// Application is transactional: every operation runs the fault-injection
+// gauntlet (fault.go), and a phase that fails part-way is reverted op by
+// op, leaving the network exactly as the previous phase left it — the
+// consistency invariant holds even under faults. A fully or partially
+// applied plan can be rolled back wholesale with RollbackPlan.
 
 // UpdateOp is one flow-table operation in an update plan.
 type UpdateOp struct {
@@ -42,6 +48,42 @@ type UpdatePlan struct {
 	// (index 0 unused); the update latency model of §2.2 scales with the
 	// slowest phase.
 	SwitchesPerPhase [4]int
+	// installs/updates/removes are the planning-time delta counts feeding
+	// Report.
+	installs, updates, removes int
+	// applied is the last phase successfully applied (0 = none). Phases
+	// must be applied in order; a failed phase leaves applied unchanged so
+	// the same phase can be retried.
+	applied int
+	// undo records, in application order, how to revert every mutation the
+	// plan has made so far.
+	undo []undoEntry
+}
+
+// undoEntry remembers one table slot's state before a mutation.
+type undoEntry struct {
+	sw      topo.NodeID
+	key     string
+	prev    Rule
+	existed bool
+}
+
+// AppliedPhase returns the last successfully applied phase (0 = none).
+func (p *UpdatePlan) AppliedPhase() int { return p.applied }
+
+// Report summarizes the plan as a CompileResult (NFStateTransfers is not
+// the plan's concern; see Network.AccountNFState).
+func (p *UpdatePlan) Report() CompileResult {
+	distinct := map[topo.NodeID]bool{}
+	for _, op := range p.Ops {
+		distinct[op.Rule.Switch] = true
+	}
+	return CompileResult{
+		RulesInstalled:  p.installs,
+		RulesUpdated:    p.updates,
+		RulesRemoved:    p.removes,
+		SwitchesTouched: len(distinct),
+	}
 }
 
 // PlanUpdate computes the three-phase plan transforming the network's
@@ -81,6 +123,11 @@ func (n *Network) PlanUpdate(target []Rule) *UpdatePlan {
 		if exists && old.action() == r.action() {
 			continue // unchanged
 		}
+		if exists {
+			plan.updates++
+		} else {
+			plan.installs++
+		}
 		if r.InPort == HostPort {
 			add(UpdateOp{Phase: 2, Install: true, Rule: r})
 		} else {
@@ -96,6 +143,7 @@ func (n *Network) PlanUpdate(target []Rule) *UpdatePlan {
 	}
 	sort.Strings(stale)
 	for _, k := range stale {
+		plan.removes++
 		add(UpdateOp{Phase: 3, Install: false, Rule: current[k]})
 	}
 
@@ -107,34 +155,89 @@ func (n *Network) PlanUpdate(target []Rule) *UpdatePlan {
 }
 
 // ApplyPhase executes all operations of one phase. Phases must be applied
-// in order (1, 2, 3); out-of-order application returns an error.
+// strictly in order (1, 2, 3); applying a phase other than
+// plan.AppliedPhase()+1 returns an error without touching the network.
+//
+// The phase is atomic with respect to injected faults: if any operation
+// fails, the operations already performed in this phase are reverted in
+// reverse order and the failure is returned — the network is exactly as
+// the previous phase left it, so after every ApplyPhase call each flow is
+// still routed entirely by its old or entirely by its new path. The failed
+// phase may be retried (AppliedPhase is unchanged).
 func (n *Network) ApplyPhase(plan *UpdatePlan, phase int) error {
 	if phase < 1 || phase > 3 {
 		return fmt.Errorf("dataplane: phase %d out of range", phase)
 	}
+	if phase != plan.applied+1 {
+		return fmt.Errorf("dataplane: phase %d applied out of order (last applied %d)", phase, plan.applied)
+	}
+	var phaseUndo []undoEntry
 	for _, op := range plan.Ops {
 		if op.Phase != phase {
 			continue
 		}
 		sw, ok := n.switches[op.Rule.Switch]
 		if !ok {
+			n.applyUndo(phaseUndo)
 			return fmt.Errorf("dataplane: op targets unknown switch %d", op.Rule.Switch)
 		}
+		if err := n.checkOp(op.Rule.Switch, op.Rule.NextHop, op.Install); err != nil {
+			n.applyUndo(phaseUndo)
+			return err
+		}
+		key := op.Rule.Key()
+		prev, existed := sw.Table.rules[key]
+		phaseUndo = append(phaseUndo, undoEntry{sw: op.Rule.Switch, key: key, prev: prev, existed: existed})
 		if op.Install {
-			sw.Table.rules[op.Rule.Key()] = op.Rule
+			sw.Table.rules[key] = op.Rule
 		} else {
-			delete(sw.Table.rules, op.Rule.Key())
+			delete(sw.Table.rules, key)
 		}
 	}
+	plan.undo = append(plan.undo, phaseUndo...)
+	plan.applied = phase
 	return nil
 }
 
-// ApplyPlan runs all three phases.
+// ApplyPlan runs the remaining phases, resuming after the last successfully
+// applied one — calling it again after a failure retries the failed phase
+// without redoing completed phases.
 func (n *Network) ApplyPlan(plan *UpdatePlan) error {
-	for p := 1; p <= 3; p++ {
+	for p := plan.applied + 1; p <= 3; p++ {
 		if err := n.ApplyPhase(plan, p); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// RollbackPlan reverts every mutation the plan has applied, restoring the
+// exact pre-plan rule set, and resets the plan so it could be applied
+// again from phase 1. Crashed switches are skipped: their tables were
+// wiped by the crash and stay empty until the controller reconfigures.
+func (n *Network) RollbackPlan(plan *UpdatePlan) {
+	n.applyUndo(plan.undo)
+	plan.undo = nil
+	plan.applied = 0
+}
+
+// applyUndo replays undo entries in reverse. Reverts bypass the fault
+// gauntlet — the rollback path must not itself fail — but skip crashed
+// switches, whose wiped tables must stay wiped.
+func (n *Network) applyUndo(entries []undoEntry) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if n.faults != nil && n.faults.crashed[e.sw] {
+			continue
+		}
+		sw, ok := n.switches[e.sw]
+		if !ok {
+			continue
+		}
+		if e.existed {
+			sw.Table.rules[e.key] = e.prev
+		} else {
+			delete(sw.Table.rules, e.key)
+		}
+	}
 }

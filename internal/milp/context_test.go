@@ -1,0 +1,116 @@
+package milp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"janus/internal/lp"
+)
+
+// hardProblem builds an instance big enough that branch and bound explores
+// many nodes: a knapsack-like 0/1 program with correlated weights.
+func hardProblem(n int) (*lp.Problem, []int) {
+	p := lp.NewProblem()
+	vars := make([]int, n)
+	terms := make([]lp.Term, n)
+	for i := range vars {
+		vars[i] = p.AddBinary(float64(3 + i%7))
+		terms[i] = lp.Term{Var: vars[i], Coef: float64(2 + i%5)}
+	}
+	// Tight capacity keeps the relaxation fractional nearly everywhere.
+	if _, err := p.AddConstraint(lp.LE, float64(n), terms); err != nil {
+		panic(err)
+	}
+	return p, vars
+}
+
+func TestSolveCancelledContext(t *testing.T) {
+	p, vars := hardProblem(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewSolver(p, vars).Solve(ctx, Options{})
+	if err == nil {
+		t.Fatal("cancelled context should abort the solve")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should wrap context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveNilContext(t *testing.T) {
+	p, vars := hardProblem(6)
+	//lint:ignore SA1012 nil context is explicitly supported (defaults to Background)
+	sol, err := NewSolver(p, vars).Solve(nil, Options{}) //nolint:staticcheck
+	if err != nil {
+		t.Fatalf("nil context should default to Background: %v", err)
+	}
+	if sol.X == nil {
+		t.Fatal("solve should produce a solution")
+	}
+}
+
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	// The cancellation check sits at the top of the node loop, so a context
+	// cancelled after the root solve must abort before exploring the tree.
+	p, vars := hardProblem(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSolver(p, vars)
+	done := make(chan struct{})
+	var solveErr error
+	go func() {
+		defer close(done)
+		_, solveErr = s.Solve(ctx, Options{})
+	}()
+	cancel()
+	<-done
+	// Either the solve finished before the cancel landed (tiny instance
+	// timing) or it aborted with the context error; both are valid, but an
+	// unrelated error is not.
+	if solveErr != nil && !errors.Is(solveErr, context.Canceled) {
+		t.Fatalf("unexpected error: %v", solveErr)
+	}
+}
+
+func TestRelaxAndRound(t *testing.T) {
+	p, vars := hardProblem(20)
+	s := NewSolver(p, vars)
+	sol, ok := s.RelaxAndRound(context.Background())
+	if !ok {
+		t.Fatal("RelaxAndRound should find a rounded solution")
+	}
+	if sol.X == nil || sol.Status != Feasible {
+		t.Fatalf("rounded solution missing: %+v", sol)
+	}
+	for _, v := range vars {
+		f := frac(sol.X[v])
+		if f > intTol && f < 1-intTol {
+			t.Fatalf("variable %d fractional after rounding: %g", v, sol.X[v])
+		}
+	}
+	// The rounded objective can never beat the relaxation bound.
+	if sol.Objective > sol.Bound+tol {
+		t.Fatalf("objective %g exceeds relaxation bound %g", sol.Objective, sol.Bound)
+	}
+	// Bounds must be restored: a full Solve afterwards still works.
+	full, err := s.Solve(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Objective < sol.Objective-tol {
+		t.Fatalf("full solve (%g) should be at least as good as rounding (%g)", full.Objective, sol.Objective)
+	}
+}
+
+func TestRelaxAndRoundInfeasible(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddBinary(1)
+	b := p.AddBinary(1)
+	// a + b >= 3 is unsatisfiable with binaries.
+	if _, err := p.AddConstraint(lp.GE, 3, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NewSolver(p, []int{a, b}).RelaxAndRound(context.Background()); ok {
+		t.Fatal("infeasible relaxation should not round")
+	}
+}

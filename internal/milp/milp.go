@@ -8,6 +8,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -144,8 +145,17 @@ type node struct {
 	depth   int
 }
 
-// Solve runs branch and bound.
-func (s *Solver) Solve(opts Options) (*Solution, error) {
+// Solve runs branch and bound. The context is checked between node solves:
+// cancelling it (an HTTP client abandoning /configure, a shutdown) aborts
+// the search promptly and returns the context's error — distinct from
+// TimeLimit, which is a planned budget and yields the best incumbent.
+func (s *Solver) Solve(ctx context.Context, opts Options) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("milp: solve aborted: %w", err)
+	}
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 200000
@@ -245,6 +255,9 @@ func (s *Solver) Solve(opts Options) (*Solution, error) {
 	}
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("milp: solve aborted after %d nodes: %w", sol.Nodes, err)
+		}
 		if sol.Nodes >= maxNodes {
 			break
 		}
@@ -323,6 +336,47 @@ func (s *Solver) Solve(opts Options) (*Solution, error) {
 		sol.Status = Feasible
 	}
 	return sol, nil
+}
+
+// RelaxAndRound solves the LP relaxation at the root and repairs a rounded
+// point into an integer-feasible solution (nearest rounding with LP repair,
+// then floor rounding). It is the second rung of the degradation ladder:
+// when branch and bound exhausts its budget with no incumbent, a rounded
+// relaxation still yields a usable — if suboptimal — configuration. Returns
+// ok=false when the relaxation is infeasible or no rounding repairs.
+func (s *Solver) RelaxAndRound(ctx context.Context) (*Solution, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	s.saveBounds()
+	defer s.restoreBounds()
+	root, err := s.solveLP(nil, nil)
+	if err != nil || root.Status != lp.Optimal {
+		return nil, false
+	}
+	sol := &Solution{
+		Status:       Feasible,
+		Objective:    math.Inf(-1),
+		Bound:        root.Objective,
+		RootDuals:    root.Duals,
+		RootBasis:    root.Basis,
+		LPIterations: root.Iterations,
+	}
+	if x, obj, ok := s.roundAndRepair(root.X); ok && obj > sol.Objective {
+		sol.X = append([]float64(nil), x...)
+		sol.Objective = obj
+	}
+	if x, obj, ok := s.greedyIncumbent(root.X); ok && obj > sol.Objective {
+		sol.X = append([]float64(nil), x...)
+		sol.Objective = obj
+	}
+	if sol.X == nil {
+		return nil, false
+	}
+	return sol, true
 }
 
 // children builds the two child nodes of branching variable v with LP value

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func TestBinaryKnapsack(t *testing.T) {
 	b := p.AddBinary(6)
 	c := p.AddBinary(4)
 	mustRow(t, p, lp.LE, 8, []lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 4}, {Var: c, Coef: 3}})
-	sol, err := NewSolver(p, []int{a, b, c}).Solve(Options{})
+	sol, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestIntegralityGapVsLP(t *testing.T) {
 	if rel.Objective <= 14+tol {
 		t.Skipf("relaxation unexpectedly tight: %v", rel.Objective)
 	}
-	sol, err := NewSolver(p, []int{a, b, c}).Solve(Options{})
+	sol, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestInfeasibleMILP(t *testing.T) {
 	a := p.AddBinary(1)
 	b := p.AddBinary(1)
 	mustRow(t, p, lp.GE, 3, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}})
-	sol, err := NewSolver(p, []int{a, b}).Solve(Options{})
+	sol, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestEqualityMILP(t *testing.T) {
 		terms[i] = lp.Term{Var: v, Coef: 1}
 	}
 	mustRow(t, p, lp.EQ, 2, terms)
-	sol, err := NewSolver(p, vars).Solve(Options{})
+	sol, err := NewSolver(p, vars).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	y := p.AddBinary(4)
 	x := p.AddVariable(0, 3.7, 1)
 	mustRow(t, p, lp.LE, 4, []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}})
-	sol, err := NewSolver(p, []int{y}).Solve(Options{})
+	sol, err := NewSolver(p, []int{y}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestBoundsRestoredAfterSolve(t *testing.T) {
 	a := p.AddBinary(1)
 	b := p.AddBinary(2)
 	mustRow(t, p, lp.LE, 1, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}})
-	if _, err := NewSolver(p, []int{a, b}).Solve(Options{}); err != nil {
+	if _, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []int{a, b} {
@@ -134,7 +135,7 @@ func TestRootDualsExposed(t *testing.T) {
 	a := p.AddBinary(3)
 	b := p.AddBinary(2)
 	r := mustRow(t, p, lp.LE, 1, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}})
-	sol, err := NewSolver(p, []int{a, b}).Solve(Options{})
+	sol, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestNodeLimit(t *testing.T) {
 		terms[i] = lp.Term{Var: vars[i], Coef: 1 + rng.Float64()*3}
 	}
 	mustRow(t, p, lp.LE, 7, terms)
-	sol, err := NewSolver(p, vars).Solve(Options{MaxNodes: 3})
+	sol, err := NewSolver(p, vars).Solve(context.Background(), Options{MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestTimeLimit(t *testing.T) {
 		mustRow(t, p, lp.LE, 3, terms)
 	}
 	start := time.Now()
-	if _, err := NewSolver(p, vars).Solve(Options{TimeLimit: 50 * time.Millisecond}); err != nil {
+	if _, err := NewSolver(p, vars).Solve(context.Background(), Options{TimeLimit: 50 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	if took := time.Since(start); took > 5*time.Second {
@@ -260,7 +261,7 @@ func TestBruteForceCrossCheck(t *testing.T) {
 			}
 		}
 
-		sol, err := NewSolver(p, vars).Solve(Options{})
+		sol, err := NewSolver(p, vars).Solve(context.Background(), Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -289,11 +290,11 @@ func TestBranchingRulesAgree(t *testing.T) {
 		}
 		mustRow(t, p, lp.LE, 4, terms)
 	}
-	mf, err := NewSolver(p, vars).Solve(Options{Branching: MostFractional})
+	mf, err := NewSolver(p, vars).Solve(context.Background(), Options{Branching: MostFractional})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := NewSolver(p, vars).Solve(Options{Branching: PseudoCost})
+	pc, err := NewSolver(p, vars).Solve(context.Background(), Options{Branching: PseudoCost})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +312,11 @@ func TestWarmStartFromRootBasis(t *testing.T) {
 	b := p.AddBinary(2)
 	c := p.AddBinary(1)
 	mustRow(t, p, lp.LE, 2, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}, {Var: c, Coef: 1}})
-	first, err := NewSolver(p, []int{a, b, c}).Solve(Options{})
+	first, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := NewSolver(p, []int{a, b, c}).Solve(Options{WarmStart: first.RootBasis})
+	second, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{WarmStart: first.RootBasis})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +343,7 @@ func TestMIPStartSeedsIncumbent(t *testing.T) {
 	c := p.AddBinary(4)
 	mustRow(t, p, lp.LE, 8, []lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 4}, {Var: c, Coef: 3}})
 	start := map[int]float64{a: 1, b: 0, c: 1} // the optimum (14)
-	sol, err := NewSolver(p, []int{a, b, c}).Solve(Options{MaxNodes: 1, MIPStart: start})
+	sol, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{MaxNodes: 1, MIPStart: start})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestInfeasibleMIPStartIgnored(t *testing.T) {
 	mustRow(t, p, lp.LE, 1, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}})
 	// a=b=1 violates the row; the solver must ignore it and still find the
 	// optimum a=1.
-	sol, err := NewSolver(p, []int{a, b}).Solve(Options{MIPStart: map[int]float64{a: 1, b: 1}})
+	sol, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{MIPStart: map[int]float64{a: 1, b: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +381,7 @@ func TestBranchPriorityRespected(t *testing.T) {
 	d2 := p.AddBinary(1)
 	mustRow(t, p, lp.LE, 1, []lp.Term{{Var: g, Coef: 0.7}, {Var: d1, Coef: 0.5}, {Var: d2, Coef: 0.5}})
 	prio := map[int]int{g: 1}
-	sol, err := NewSolver(p, []int{g, d1, d2}).Solve(Options{BranchPriority: prio})
+	sol, err := NewSolver(p, []int{g, d1, d2}).Solve(context.Background(), Options{BranchPriority: prio})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,11 +411,11 @@ func TestBranchPriorityMatchesNoPriority(t *testing.T) {
 		}
 		mustRow(t, p, lp.LE, 3, terms)
 	}
-	plain, err := NewSolver(p, vars).Solve(Options{})
+	plain, err := NewSolver(p, vars).Solve(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	prioritized, err := NewSolver(p, vars).Solve(Options{BranchPriority: prio})
+	prioritized, err := NewSolver(p, vars).Solve(context.Background(), Options{BranchPriority: prio})
 	if err != nil {
 		t.Fatal(err)
 	}

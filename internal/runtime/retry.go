@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how the runtime retries a failed dataplane update
+// before giving up and quarantining the failing switch. Backoff is capped
+// exponential with jitter; the clock (Sleep) and randomness (Rand) are
+// injectable so tests and chaos soaks run fast and deterministically.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of ApplyPlan tries (>= 1).
+	MaxAttempts int
+	// Base is the backoff before the first retry; doubled per attempt.
+	Base time.Duration
+	// Cap bounds the backoff.
+	Cap time.Duration
+	// Sleep performs the wait; nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Rand supplies jitter; nil means a fixed-seed source (deterministic
+	// runs by default).
+	Rand *rand.Rand
+}
+
+// DefaultRetryPolicy is the policy a new Runtime starts with.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Base:        10 * time.Millisecond,
+		Cap:         200 * time.Millisecond,
+	}
+}
+
+// normalize fills in the injectable defaults.
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Cap < p.Base {
+		p.Cap = p.Base
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = rand.New(rand.NewSource(1))
+	}
+	return p
+}
+
+// backoff returns the capped exponential wait before retry number
+// attempt (1-based), with full jitter: a uniform draw in (0, cap].
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	// Full jitter (after the AWS architecture blog): decorrelates retry
+	// storms across concurrent controllers.
+	return time.Duration(p.Rand.Int63n(int64(d))) + 1
+}

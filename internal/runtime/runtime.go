@@ -6,9 +6,13 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
+	"janus/internal/check"
 	"janus/internal/compose"
 	"janus/internal/core"
 	"janus/internal/dataplane"
@@ -17,8 +21,10 @@ import (
 )
 
 // Metrics accumulates the disruption counters the paper's evaluation
-// reports: path changes (Fig 14, Table 5), rule updates, switches touched,
-// and NF state transfers (§2.2).
+// reports — path changes (Fig 14, Table 5), rule updates, switches touched,
+// NF state transfers (§2.2) — plus the robustness counters of the
+// fault-tolerant runtime: retries, rollbacks, audit outcomes, quarantines,
+// and the solver degradation tier each reconfiguration was served at.
 type Metrics struct {
 	Reconfigurations int
 	PathChanges      int
@@ -28,6 +34,24 @@ type Metrics struct {
 	SwitchesTouched  int
 	NFStateTransfers int
 	StatefulReroutes int
+
+	// ApplyRetries counts dataplane update attempts beyond the first.
+	ApplyRetries int
+	// ApplyRollbacks counts plans abandoned after the retry budget and
+	// rolled back to the prior rule set.
+	ApplyRollbacks int
+	// AuditViolations / AuditRollbacks count post-install self-audit
+	// findings and the rollbacks they triggered.
+	AuditViolations int
+	AuditRollbacks  int
+	// QuarantinedSwitches counts switches taken out of service after
+	// exhausting the retry budget.
+	QuarantinedSwitches int
+	// TierHistory records, per reconfiguration, the degradation tier the
+	// configuration was served at (core.DegradationTier strings).
+	TierHistory []string
+	// TierCounts aggregates TierHistory plus the initial configuration.
+	TierCounts map[string]int
 }
 
 // Runtime is a live Janus instance: a configurator, its current result, and
@@ -43,28 +67,61 @@ type Runtime struct {
 	current  *core.Result
 	counters map[string]map[policy.Event]int // per-flow event counters
 	metrics  Metrics
+
+	retry RetryPolicy
+	// failedLinks remembers the capacity of links removed by FailLink or
+	// quarantine, keyed by normalized endpoint pair, so RestoreLink can put
+	// them back.
+	failedLinks map[[2]topo.NodeID]float64
+	quarantined map[topo.NodeID]bool
+	// quarantineDepth bounds the quarantine -> reconfigure -> fail ->
+	// quarantine recursion.
+	quarantineDepth int
 }
 
+// maxQuarantineDepth bounds cascading quarantines within one install; a
+// real topology runs out of alternate paths long before this.
+const maxQuarantineDepth = 8
+
 // New starts a runtime at hour 0 with an initial configuration.
-func New(conf *core.Configurator) (*Runtime, error) {
+func New(ctx context.Context, conf *core.Configurator) (*Runtime, error) {
 	r := &Runtime{
-		conf:     conf,
-		graph:    conf.Graph(),
-		topo:     conf.Topology(),
-		net:      dataplane.NewNetwork(conf.Topology()),
-		adapter:  dataplane.NewGraphAdapter(conf.Graph()),
-		counters: map[string]map[policy.Event]int{},
+		conf:        conf,
+		graph:       conf.Graph(),
+		topo:        conf.Topology(),
+		net:         dataplane.NewNetwork(conf.Topology()),
+		adapter:     dataplane.NewGraphAdapter(conf.Graph()),
+		counters:    map[string]map[policy.Event]int{},
+		retry:       DefaultRetryPolicy().normalize(),
+		failedLinks: map[[2]topo.NodeID]float64{},
+		quarantined: map[topo.NodeID]bool{},
 	}
-	res, err := conf.Configure(0)
+	res, err := conf.ConfigureContext(ctx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: initial configuration: %w", err)
 	}
-	r.install(res)
+	if err := r.install(ctx, res, 0); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
-// Metrics returns the accumulated disruption counters.
-func (r *Runtime) Metrics() Metrics { return r.metrics }
+// SetRetryPolicy replaces the dataplane-update retry policy (tests and
+// chaos soaks inject a no-op sleeper and a seeded RNG).
+func (r *Runtime) SetRetryPolicy(p RetryPolicy) { r.retry = p.normalize() }
+
+// Metrics returns a deep copy of the accumulated disruption counters.
+func (r *Runtime) Metrics() Metrics {
+	m := r.metrics
+	m.TierHistory = append([]string(nil), r.metrics.TierHistory...)
+	if r.metrics.TierCounts != nil {
+		m.TierCounts = make(map[string]int, len(r.metrics.TierCounts))
+		for k, v := range r.metrics.TierCounts {
+			m.TierCounts[k] = v
+		}
+	}
+	return m
+}
 
 // Current returns the active configuration result.
 func (r *Runtime) Current() *core.Result { return r.current }
@@ -75,71 +132,253 @@ func (r *Runtime) Network() *dataplane.Network { return r.net }
 // Hour returns the runtime's current hour of day.
 func (r *Runtime) Hour() int { return r.hour }
 
-func (r *Runtime) install(res *core.Result) {
+// install compiles res into rules and applies them transactionally: the
+// three-phase plan is retried with backoff on injected faults; after the
+// retry budget the plan is rolled back and the failing switch quarantined
+// (degraded reconfiguration without it); after a successful apply the
+// installed state is self-audited and rolled back to the prior rule set on
+// any violation. hour is the wall-clock hour the configuration is for
+// (audit resolves temporal policies against it).
+func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rules := dataplane.CompileRules(r.topo, r.adapter, res)
+	plan := r.net.PlanUpdate(rules)
+	if err := r.applyPlanWithRetry(ctx, plan); err != nil {
+		r.net.RollbackPlan(plan)
+		r.metrics.ApplyRollbacks++
+		var opErr *dataplane.OpError
+		if errors.As(err, &opErr) && ctx.Err() == nil {
+			return r.quarantine(ctx, opErr.Switch, err)
+		}
+		return fmt.Errorf("runtime: install rolled back: %w", err)
+	}
+
+	// Self-audit: the installed rules must actually realize the intent.
+	// Any violation rolls the dataplane back to the exact prior rule set
+	// and keeps the prior result live.
+	if vs := check.Audit(r.topo, r.graph, r.net, res, hour, r.counters); len(vs) > 0 {
+		r.metrics.AuditViolations += len(vs)
+		r.metrics.AuditRollbacks++
+		r.net.RollbackPlan(plan)
+		return fmt.Errorf("runtime: self-audit failed with %d violations (first: %s/%s), rolled back",
+			len(vs), vs[0].Kind, vs[0].Detail)
+	}
+
+	rep := plan.Report()
+	rep.NFStateTransfers = r.net.AccountNFState(res.Assignments)
 	if r.current != nil {
 		r.metrics.PathChanges += core.CountPathChanges(r.current, res)
 		r.metrics.Reconfigurations++
+		r.metrics.TierHistory = append(r.metrics.TierHistory, res.Tier.String())
 	}
-	rules := dataplane.CompileRules(r.topo, r.adapter, res)
-	rep := r.net.Apply(rules, res.Assignments)
+	if r.metrics.TierCounts == nil {
+		r.metrics.TierCounts = map[string]int{}
+	}
+	r.metrics.TierCounts[res.Tier.String()]++
 	r.metrics.RulesInstalled += rep.RulesInstalled
 	r.metrics.RulesUpdated += rep.RulesUpdated
 	r.metrics.RulesRemoved += rep.RulesRemoved
 	r.metrics.SwitchesTouched += rep.SwitchesTouched
 	r.metrics.NFStateTransfers += rep.NFStateTransfers
 	r.current = res
+	return nil
+}
+
+// applyPlanWithRetry drives ApplyPlan under the retry policy. ApplyPlan
+// resumes from the failed phase, so retries never redo completed phases.
+func (r *Runtime) applyPlanWithRetry(ctx context.Context, plan *dataplane.UpdatePlan) error {
+	var err error
+	for attempt := 1; attempt <= r.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.metrics.ApplyRetries++
+			r.retry.Sleep(r.retry.backoff(attempt - 1))
+		}
+		if err = r.net.ApplyPlan(plan); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w (aborting retries: %v)", err, ctx.Err())
+		}
+	}
+	return err
+}
+
+// quarantine takes a persistently failing switch out of service: its links
+// are removed from the topology (capacities remembered for RestoreLink)
+// and a degraded reconfiguration routes around it, reusing the link-failure
+// machinery.
+func (r *Runtime) quarantine(ctx context.Context, sw topo.NodeID, cause error) error {
+	if r.quarantined[sw] {
+		return fmt.Errorf("runtime: switch %d already quarantined: %w", sw, cause)
+	}
+	if r.quarantineDepth >= maxQuarantineDepth {
+		return fmt.Errorf("runtime: quarantine cascade exceeded depth %d: %w", maxQuarantineDepth, cause)
+	}
+	r.quarantineDepth++
+	defer func() { r.quarantineDepth-- }()
+
+	r.quarantined[sw] = true
+	r.metrics.QuarantinedSwitches++
+	for _, nb := range r.topo.Neighbors(sw) {
+		capacity, ok := r.topo.LinkCapacity(sw, nb)
+		if !ok {
+			continue
+		}
+		if err := r.topo.RemoveLink(sw, nb); err != nil {
+			continue
+		}
+		r.failedLinks[linkKey(sw, nb)] = capacity
+	}
+	r.conf.InvalidatePaths()
+	if err := r.reconfigure(ctx); err != nil {
+		return fmt.Errorf("runtime: degraded reconfiguration after quarantining switch %d: %w", sw, err)
+	}
+	return nil
+}
+
+// Quarantined lists switches currently quarantined, ascending.
+func (r *Runtime) Quarantined() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(r.quarantined))
+	for id := range r.quarantined {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Audit re-checks the live dataplane against the current configuration and
+// returns any violations (empty means the installed state is sound).
+func (r *Runtime) Audit() []check.Violation {
+	return check.Audit(r.topo, r.graph, r.net, r.current, r.hour, r.counters)
 }
 
 // MoveEndpoint relocates an endpoint and reconfigures incrementally
 // (warm start + path-change penalty, §5.4).
-func (r *Runtime) MoveEndpoint(name string, to topo.NodeID) error {
+func (r *Runtime) MoveEndpoint(ctx context.Context, name string, to topo.NodeID) error {
 	if err := r.topo.MoveEndpoint(name, to); err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
-	return r.reconfigure()
+	return r.reconfigure(ctx)
 }
 
 // RelabelEndpoint changes an endpoint's group membership and reconfigures.
-func (r *Runtime) RelabelEndpoint(name string, labels ...string) error {
+func (r *Runtime) RelabelEndpoint(ctx context.Context, name string, labels ...string) error {
 	if err := r.topo.RelabelEndpoint(name, labels...); err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
-	return r.reconfigure()
+	return r.reconfigure(ctx)
 }
 
 // AddEndpoint attaches a new endpoint and reconfigures (membership growth).
-func (r *Runtime) AddEndpoint(name string, at topo.NodeID, labels ...string) error {
+func (r *Runtime) AddEndpoint(ctx context.Context, name string, at topo.NodeID, labels ...string) error {
 	if err := r.topo.AddEndpoint(name, at, labels...); err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
-	return r.reconfigure()
+	return r.reconfigure(ctx)
 }
 
-func (r *Runtime) reconfigure() error {
-	res, err := r.conf.Reconfigure(r.current)
+func (r *Runtime) reconfigure(ctx context.Context) error {
+	res, err := r.conf.ReconfigureContext(ctx, r.current)
 	if err != nil {
 		return fmt.Errorf("runtime: reconfiguring: %w", err)
 	}
-	r.install(res)
-	return nil
+	return r.install(ctx, r.escalate(res, r.hour), r.hour)
+}
+
+// escalate re-promotes reserved escalation paths for flows whose event
+// counters already satisfy a stateful condition: a fresh solve always
+// serves the default edge hard and the escalation soft, so installing it
+// verbatim would silently de-escalate flows that tripped their condition
+// earlier (the self-audit catches exactly this). Returns res unchanged
+// when no flow is escalated.
+func (r *Runtime) escalate(res *core.Result, hour int) *core.Result {
+	promoted := res
+	for flow, state := range r.counters {
+		src, dst, ok := strings.Cut(flow, "->")
+		if !ok {
+			continue
+		}
+		pid, p := r.policyFor(src, dst)
+		if p == nil {
+			continue
+		}
+		edge, ok := compose.ActiveEdge(p, hour, state)
+		if !ok {
+			continue
+		}
+		edgeIdx := indexOfEdge(p, edge)
+		if edgeIdx <= 0 {
+			continue // default edge active; nothing to promote
+		}
+		if promoted == res {
+			clone := *res
+			clone.Assignments = append([]core.Assignment(nil), res.Assignments...)
+			promoted = &clone
+		}
+		for i := range promoted.Assignments {
+			pa := &promoted.Assignments[i]
+			if pa.Policy != pid || pa.Src != src || pa.Dst != dst {
+				continue
+			}
+			if pa.EdgeIdx == edgeIdx {
+				pa.Role = core.HardEdge
+			} else if pa.Role == core.HardEdge {
+				pa.Role = core.SoftEdge
+			}
+		}
+	}
+	return promoted
+}
+
+// linkKey normalizes an undirected link to a map key.
+func linkKey(a, b topo.NodeID) [2]topo.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topo.NodeID{a, b}
 }
 
 // FailLink removes a link from the topology and reconfigures with
 // path-change minimization: only flows whose paths crossed the failed link
 // should move (§8: "handle this in a manner similar to §5.4"). The
 // reconfiguration keeps valid previous paths via the ρ penalty; paths that
-// used the failed link are no longer candidates and reroute.
-func (r *Runtime) FailLink(a, b topo.NodeID) error {
+// used the failed link are no longer candidates and reroute. The link's
+// capacity is remembered so RestoreLink can undo the failure.
+func (r *Runtime) FailLink(ctx context.Context, a, b topo.NodeID) error {
+	capacity, ok := r.topo.LinkCapacity(a, b)
+	if !ok {
+		return fmt.Errorf("runtime: no link %d-%d", a, b)
+	}
 	if err := r.topo.RemoveLink(a, b); err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
+	r.failedLinks[linkKey(a, b)] = capacity
 	r.conf.InvalidatePaths()
-	return r.reconfigure()
+	return r.reconfigure(ctx)
+}
+
+// RestoreLink re-adds a link previously removed by FailLink (or by a
+// quarantine) at its remembered capacity and reconfigures so flows can
+// move back onto their preferred paths.
+func (r *Runtime) RestoreLink(ctx context.Context, a, b topo.NodeID) error {
+	capacity, ok := r.failedLinks[linkKey(a, b)]
+	if !ok {
+		return fmt.Errorf("runtime: link %d-%d was not failed", a, b)
+	}
+	if err := r.topo.AddLink(a, b, capacity); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	delete(r.failedLinks, linkKey(a, b))
+	r.conf.InvalidatePaths()
+	return r.reconfigure(ctx)
 }
 
 // AdvanceTo moves the clock to hour h; if the composed graph changes
 // periods in between, each boundary's configuration is applied in order.
-func (r *Runtime) AdvanceTo(h int) error {
+// On error the clock stops at the last successfully applied boundary.
+func (r *Runtime) AdvanceTo(ctx context.Context, h int) error {
 	if h < 0 || h >= policy.HoursPerDay {
 		return fmt.Errorf("runtime: hour %d out of range", h)
 	}
@@ -149,11 +388,14 @@ func (r *Runtime) AdvanceTo(h int) error {
 	for cur != h {
 		cur = (cur + 1) % policy.HoursPerDay
 		if containsInt(periods, cur) {
-			res, err := r.conf.ReconfigureAt(r.current, cur)
+			res, err := r.conf.ReconfigureAtContext(ctx, r.current, cur)
 			if err != nil {
 				return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
 			}
-			r.install(res)
+			if err := r.install(ctx, r.escalate(res, cur), cur); err != nil {
+				return err
+			}
+			r.hour = cur
 		}
 	}
 	r.hour = h
@@ -165,7 +407,7 @@ func (r *Runtime) AdvanceTo(h int) error {
 // fires, reroutes the flow onto its pre-reserved escalation path without
 // re-solving (§5.3: "it could reserve paths for changed policy beforehand
 // ... no other policy will have to change its path").
-func (r *Runtime) ReportEvent(src, dst string, ev policy.Event, delta int) error {
+func (r *Runtime) ReportEvent(ctx context.Context, src, dst string, ev policy.Event, delta int) error {
 	flow := src + "->" + dst
 	if r.counters[flow] == nil {
 		r.counters[flow] = map[policy.Event]int{}
@@ -202,12 +444,11 @@ func (r *Runtime) ReportEvent(src, dst string, ev policy.Event, delta int) error
 				}
 			}
 			r.metrics.StatefulReroutes++
-			r.install(&promoted)
-			return nil
+			return r.install(ctx, &promoted, r.hour)
 		}
 	}
 	// No reservation (ξ was 1): a full reconfiguration is needed.
-	return r.reconfigure()
+	return r.reconfigure(ctx)
 }
 
 func (r *Runtime) policyFor(src, dst string) (int, *compose.Policy) {
@@ -231,7 +472,7 @@ func (r *Runtime) policyFor(src, dst string) (int, *compose.Policy) {
 
 // UpdateGraph swaps in a new composed policy graph (graph churn, §2.2) and
 // reconfigures with path-change minimization against the previous state.
-func (r *Runtime) UpdateGraph(g *compose.Graph, cfg core.Config) error {
+func (r *Runtime) UpdateGraph(ctx context.Context, g *compose.Graph, cfg core.Config) error {
 	conf, err := core.New(r.topo, g, cfg)
 	if err != nil {
 		return fmt.Errorf("runtime: %w", err)
@@ -239,7 +480,7 @@ func (r *Runtime) UpdateGraph(g *compose.Graph, cfg core.Config) error {
 	r.conf = conf
 	r.graph = g
 	r.adapter = dataplane.NewGraphAdapter(g)
-	return r.reconfigure()
+	return r.reconfigure(ctx)
 }
 
 // Verify walks every configured hard assignment through the dataplane and

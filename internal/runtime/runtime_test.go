@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"testing"
 
 	"janus/internal/compose"
@@ -56,7 +57,7 @@ func statefulSetup(t *testing.T) (*topo.Topology, *compose.Graph, *core.Configur
 
 func TestRuntimeInitialInstall(t *testing.T) {
 	_, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,13 +77,13 @@ func TestRuntimeInitialInstall(t *testing.T) {
 
 func TestStatefulTriggerUsesReservedPath(t *testing.T) {
 	tp, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Below the threshold: no reroute.
 	for i := 0; i < 4; i++ {
-		if err := r.ReportEvent("c1", "srv", policy.FailedConnections, 1); err != nil {
+		if err := r.ReportEvent(context.Background(), "c1", "srv", policy.FailedConnections, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,7 +92,7 @@ func TestStatefulTriggerUsesReservedPath(t *testing.T) {
 	}
 	// Fifth failure crosses >=5: the flow must move onto the reserved
 	// H-IDS path without a full reconfiguration.
-	if err := r.ReportEvent("c1", "srv", policy.FailedConnections, 1); err != nil {
+	if err := r.ReportEvent(context.Background(), "c1", "srv", policy.FailedConnections, 1); err != nil {
 		t.Fatal(err)
 	}
 	if r.Metrics().StatefulReroutes != 1 {
@@ -115,7 +116,7 @@ func TestStatefulTriggerUsesReservedPath(t *testing.T) {
 
 func TestMobilityReconfigures(t *testing.T) {
 	tp, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestMobilityReconfigures(t *testing.T) {
 			midID = n.ID
 		}
 	}
-	if err := r.MoveEndpoint("c1", midID); err != nil {
+	if err := r.MoveEndpoint(context.Background(), "c1", midID); err != nil {
 		t.Fatal(err)
 	}
 	if r.Metrics().Reconfigurations != 1 {
@@ -142,7 +143,7 @@ func TestMobilityReconfigures(t *testing.T) {
 
 func TestMembershipChange(t *testing.T) {
 	tp, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestMembershipChange(t *testing.T) {
 	}
 	// Add a second client: the group grows, the policy must now cover both
 	// pairs.
-	if err := r.AddEndpoint("c2", aID, "Clients"); err != nil {
+	if err := r.AddEndpoint(context.Background(), "c2", aID, "Clients"); err != nil {
 		t.Fatal(err)
 	}
 	found := false
@@ -167,7 +168,7 @@ func TestMembershipChange(t *testing.T) {
 		t.Error("new member c2 has no configured path")
 	}
 	// Remove c1 from the group.
-	if err := r.RelabelEndpoint("c1", "Guests"); err != nil {
+	if err := r.RelabelEndpoint(context.Background(), "c1", "Guests"); err != nil {
 		t.Fatal(err)
 	}
 	for _, asg := range r.Current().Assignments {
@@ -215,7 +216,7 @@ func TestAdvanceToTemporalBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestAdvanceToTemporalBoundary(t *testing.T) {
 	if got := nfOnWalk(); got != policy.ByteCounter {
 		t.Errorf("at 0h traffic via %s, want BC", got)
 	}
-	if err := r.AdvanceTo(10); err != nil {
+	if err := r.AdvanceTo(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	if got := nfOnWalk(); got != policy.Firewall {
@@ -244,14 +245,14 @@ func TestAdvanceToTemporalBoundary(t *testing.T) {
 	if r.Hour() != 10 {
 		t.Errorf("hour = %d, want 10", r.Hour())
 	}
-	if err := r.AdvanceTo(30); err == nil {
+	if err := r.AdvanceTo(context.Background(), 30); err == nil {
 		t.Error("hour out of range should error")
 	}
 }
 
 func TestUpdateGraphChurn(t *testing.T) {
 	tp, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestUpdateGraphChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.UpdateGraph(cg, core.Config{}); err != nil {
+	if err := r.UpdateGraph(context.Background(), cg, core.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	if r.Current().SatisfiedCount() != 0 {
@@ -276,18 +277,18 @@ func TestUpdateGraphChurn(t *testing.T) {
 
 func TestReportEventUnknownFlow(t *testing.T) {
 	_, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.ReportEvent("nope", "srv", policy.FailedConnections, 1); err == nil {
+	if err := r.ReportEvent(context.Background(), "nope", "srv", policy.FailedConnections, 1); err == nil {
 		t.Error("unknown flow should error")
 	}
 }
 
 func TestFailLinkReroutes(t *testing.T) {
 	tp, _, conf := statefulSetup(t)
-	r, err := New(conf)
+	r, err := New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestFailLinkReroutes(t *testing.T) {
 			bID = n.ID
 		}
 	}
-	if err := r.FailLink(aID, bID); err != nil {
+	if err := r.FailLink(context.Background(), aID, bID); err != nil {
 		t.Fatal(err)
 	}
 	if r.Current().SatisfiedCount() != 1 {
@@ -317,7 +318,7 @@ func TestFailLinkReroutes(t *testing.T) {
 			t.Errorf("walk %v still uses the failed link", walk)
 		}
 	}
-	if err := r.FailLink(aID, bID); err == nil {
+	if err := r.FailLink(context.Background(), aID, bID); err == nil {
 		t.Error("failing the same link twice should error")
 	}
 }

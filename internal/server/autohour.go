@@ -34,7 +34,7 @@ func (s *Server) StartAutoHour(ctx context.Context, interval time.Duration, logf
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				if err := s.advanceHour(); err != nil {
+				if err := s.advanceHour(ctx); err != nil {
 					logf("server: auto-hour: %v", err)
 				}
 			}
@@ -44,11 +44,11 @@ func (s *Server) StartAutoHour(ctx context.Context, interval time.Duration, logf
 }
 
 // advanceHour moves the runtime clock forward one hour of the policy day.
-func (s *Server) advanceHour() error {
+func (s *Server) advanceHour(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.rt == nil {
 		return nil // nothing configured yet; the ticker idles
 	}
-	return s.rt.AdvanceTo((s.rt.Hour() + 1) % policy.HoursPerDay)
+	return s.rt.AdvanceTo(ctx, (s.rt.Hour()+1)%policy.HoursPerDay)
 }

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"janus/internal/topo"
+)
+
+// TestLinkRestoreRoundTrip fails the a–b link over HTTP and restores it,
+// checking the policy is re-satisfied and that restoring a healthy link is
+// rejected.
+func TestLinkRestoreRoundTrip(t *testing.T) {
+	ts, tp := testServer(t)
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	if code, _ := do(t, http.MethodPost, ts.URL+"/configure", "", ""); code != http.StatusOK {
+		t.Fatal("configure failed")
+	}
+	var a, b topo.NodeID
+	for _, n := range tp.Nodes {
+		switch n.Name {
+		case "a":
+			a = n.ID
+		case "b":
+			b = n.ID
+		}
+	}
+	linkBody := fmt.Sprintf(`{"from":%d,"to":%d}`, a, b)
+
+	// Restoring a link that never failed is an event error.
+	code, body := do(t, http.MethodPost, ts.URL+"/events/linkrestore", "application/json", linkBody)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("restore healthy link: %d %v, want 422", code, body)
+	}
+
+	code, body = do(t, http.MethodPost, ts.URL+"/events/linkfail", "application/json", linkBody)
+	if code != http.StatusOK || body["satisfied"].(float64) != 1 {
+		t.Fatalf("linkfail: %d %v", code, body)
+	}
+	if _, ok := tp.LinkCapacity(a, b); ok {
+		t.Fatal("link should be gone after /events/linkfail")
+	}
+
+	code, body = do(t, http.MethodPost, ts.URL+"/events/linkrestore", "application/json", linkBody)
+	if code != http.StatusOK || body["satisfied"].(float64) != 1 {
+		t.Fatalf("linkrestore: %d %v", code, body)
+	}
+	if body["tier"].(string) != "full" {
+		t.Errorf("tier = %v, want full", body["tier"])
+	}
+	if capacity, ok := tp.LinkCapacity(a, b); !ok || capacity != 1000 {
+		t.Errorf("restored capacity = %v (ok=%v), want 1000", capacity, ok)
+	}
+}
+
+// TestInjectRoundTrip installs a fault plan over HTTP, reads it back,
+// checks injected faults are visible in /metrics, and clears the plan.
+func TestInjectRoundTrip(t *testing.T) {
+	ts, tp := testServer(t)
+
+	// Before configure there is no dataplane to inject into.
+	if code, _ := do(t, http.MethodGet, ts.URL+"/inject", "", ""); code != http.StatusConflict {
+		t.Fatal("GET /inject before configure should 409")
+	}
+
+	do(t, http.MethodPut, ts.URL+"/graphs/web", "text/plain", intentBody)
+	if code, _ := do(t, http.MethodPost, ts.URL+"/configure", "", ""); code != http.StatusOK {
+		t.Fatal("configure failed")
+	}
+	var a, mid topo.NodeID
+	for _, n := range tp.Nodes {
+		switch n.Name {
+		case "a":
+			a = n.ID
+		case "mid":
+			mid = n.ID
+		}
+	}
+
+	plan := fmt.Sprintf(`{
+		"seed": 7,
+		"default": {"failRate": 0.01},
+		"switches": [{"switch": %d, "failRate": 0.5, "opLatencyMs": 2}],
+		"crashAfterOps": [{"switch": %d, "ops": 1000}],
+		"flakyLinks": [{"from": %d, "to": %d, "failRate": 0.25}]
+	}`, a, mid, a, mid)
+	code, body := do(t, http.MethodPost, ts.URL+"/inject", "application/json", plan)
+	if code != http.StatusOK || body["active"] != true {
+		t.Fatalf("POST /inject: %d %v", code, body)
+	}
+
+	// The plan echoes back on GET in the same wire form.
+	code, body = do(t, http.MethodGet, ts.URL+"/inject", "", "")
+	if code != http.StatusOK || body["active"] != true {
+		t.Fatalf("GET /inject: %d %v", code, body)
+	}
+	got := body["plan"].(map[string]any)
+	if got["seed"].(float64) != 7 {
+		t.Errorf("seed = %v, want 7", got["seed"])
+	}
+	if fr := got["default"].(map[string]any)["failRate"].(float64); fr != 0.01 {
+		t.Errorf("default failRate = %v, want 0.01", fr)
+	}
+	sw := got["switches"].([]any)[0].(map[string]any)
+	if sw["switch"].(float64) != float64(a) || sw["failRate"].(float64) != 0.5 || sw["opLatencyMs"].(float64) != 2 {
+		t.Errorf("switch faults echoed wrong: %v", sw)
+	}
+	fl := got["flakyLinks"].([]any)[0].(map[string]any)
+	if fl["from"].(float64) != float64(a) || fl["to"].(float64) != float64(mid) || fl["failRate"].(float64) != 0.25 {
+		t.Errorf("flaky link echoed wrong: %v", fl)
+	}
+
+	// Drive an event so the fault gauntlet sees traffic, then check /metrics
+	// surfaces the fault stats.
+	code, body = do(t, http.MethodPost, ts.URL+"/events/move", "application/json",
+		fmt.Sprintf(`{"endpoint":"c1","to":%d}`, mid))
+	if code != http.StatusOK {
+		t.Fatalf("move under injection: %d %v", code, body)
+	}
+	code, body = do(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %v", code, body)
+	}
+	stats := body["faultStats"].(map[string]any)
+	if stats["opsAttempted"].(float64) == 0 {
+		t.Error("metrics should count attempted ops under injection")
+	}
+	if _, ok := body["tier"]; !ok {
+		t.Error("metrics missing serving tier")
+	}
+
+	// An all-zero plan clears injection.
+	code, body = do(t, http.MethodPost, ts.URL+"/inject", "application/json", `{}`)
+	if code != http.StatusOK || body["active"] != false {
+		t.Fatalf("clearing inject: %d %v", code, body)
+	}
+}

@@ -21,12 +21,17 @@
 //	POST   /events/counter       {"src": "...", "dst": "...", "event": "...", "delta": 1}
 //	POST   /events/hour          {"hour": 9}
 //	POST   /events/linkfail      {"from": 1, "to": 2}
+//	POST   /events/linkrestore   {"from": 1, "to": 2}
+//	POST   /inject               install a dataplane fault plan (see
+//	                             injectRequest); an empty body clears it
+//	GET    /inject               the active fault plan and injector stats
 //
 // All handlers are safe for concurrent use; state is guarded by one mutex
 // (configuration solves dominate, so finer locking buys nothing).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,6 +95,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/events/counter", s.handleCounter)
 	s.mux.HandleFunc("/events/hour", s.handleHour)
 	s.mux.HandleFunc("/events/linkfail", s.handleLinkFail)
+	s.mux.HandleFunc("/events/linkrestore", s.handleLinkRestore)
+	s.mux.HandleFunc("/inject", s.handleInject)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -222,13 +229,13 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
-		rt, err := runtime.New(conf)
+		rt, err := runtime.New(r.Context(), conf)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		s.rt = rt
-	} else if err := s.rt.UpdateGraph(cg, s.cfg); err != nil {
+	} else if err := s.rt.UpdateGraph(r.Context(), cg, s.cfg); err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -237,6 +244,7 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 		"satisfied": res.SatisfiedCount(),
 		"policies":  len(res.Configured),
 		"status":    res.Status.String(),
+		"tier":      res.Tier.String(),
 	})
 }
 
@@ -322,7 +330,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if rt == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, rt.Metrics())
+	out := struct {
+		runtime.Metrics
+		Tier        string               `json:"tier"`
+		Quarantined []topo.NodeID        `json:"quarantined,omitempty"`
+		Crashed     []topo.NodeID        `json:"crashed,omitempty"`
+		FaultStats  dataplane.FaultStats `json:"faultStats"`
+	}{
+		Metrics:     rt.Metrics(),
+		Tier:        rt.Current().Tier.String(),
+		Quarantined: rt.Quarantined(),
+		Crashed:     rt.Network().CrashedSwitches(),
+		FaultStats:  rt.Network().FaultStats(),
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
@@ -330,8 +351,8 @@ func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
 		Endpoint string      `json:"endpoint"`
 		To       topo.NodeID `json:"to"`
 	}
-	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
-		return rt.MoveEndpoint(req.Endpoint, req.To)
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
+		return rt.MoveEndpoint(ctx, req.Endpoint, req.To)
 	})
 }
 
@@ -340,8 +361,8 @@ func (s *Server) handleRelabel(w http.ResponseWriter, r *http.Request) {
 		Endpoint string   `json:"endpoint"`
 		Labels   []string `json:"labels"`
 	}
-	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
-		return rt.RelabelEndpoint(req.Endpoint, req.Labels...)
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
+		return rt.RelabelEndpoint(ctx, req.Endpoint, req.Labels...)
 	})
 }
 
@@ -352,12 +373,12 @@ func (s *Server) handleCounter(w http.ResponseWriter, r *http.Request) {
 		Event string `json:"event"`
 		Delta int    `json:"delta"`
 	}
-	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
 		delta := req.Delta
 		if delta == 0 {
 			delta = 1
 		}
-		return rt.ReportEvent(req.Src, req.Dst, policy.Event(req.Event), delta)
+		return rt.ReportEvent(ctx, req.Src, req.Dst, policy.Event(req.Event), delta)
 	})
 }
 
@@ -365,8 +386,8 @@ func (s *Server) handleHour(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Hour int `json:"hour"`
 	}
-	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
-		return rt.AdvanceTo(req.Hour)
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
+		return rt.AdvanceTo(ctx, req.Hour)
 	})
 }
 
@@ -375,14 +396,25 @@ func (s *Server) handleLinkFail(w http.ResponseWriter, r *http.Request) {
 		From topo.NodeID `json:"from"`
 		To   topo.NodeID `json:"to"`
 	}
-	s.eventHandler(w, r, &req, func(rt *runtime.Runtime) error {
-		return rt.FailLink(req.From, req.To)
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
+		return rt.FailLink(ctx, req.From, req.To)
+	})
+}
+
+func (s *Server) handleLinkRestore(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		From topo.NodeID `json:"from"`
+		To   topo.NodeID `json:"to"`
+	}
+	s.eventHandler(w, r, &req, func(ctx context.Context, rt *runtime.Runtime) error {
+		return rt.RestoreLink(ctx, req.From, req.To)
 	})
 }
 
 // eventHandler decodes the request into req and applies the event under
-// the lock, returning the updated satisfaction summary.
-func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, apply func(*runtime.Runtime) error) {
+// the lock, returning the updated satisfaction summary. The request's
+// context is threaded through so a dropped client aborts the solve.
+func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, apply func(context.Context, *runtime.Runtime) error) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
@@ -397,7 +429,7 @@ func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, a
 	if rt == nil {
 		return
 	}
-	if err := apply(rt); err != nil {
+	if err := apply(r.Context(), rt); err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -406,6 +438,7 @@ func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, a
 		"satisfied":   res.SatisfiedCount(),
 		"policies":    len(res.Configured),
 		"pathChanges": rt.Metrics().PathChanges,
+		"tier":        res.Tier.String(),
 	})
 }
 

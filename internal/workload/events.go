@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -146,31 +147,31 @@ func (w *Workload) GenerateTrace(spec TraceSpec) *Trace {
 // satisfies it. An interface keeps this package free of a runtime
 // dependency (runtime already depends on core, whose tests use workload).
 type Driver interface {
-	MoveEndpoint(name string, to topo.NodeID) error
-	RelabelEndpoint(name string, labels ...string) error
-	ReportEvent(src, dst string, ev policy.Event, delta int) error
-	AdvanceTo(hour int) error
-	FailLink(a, b topo.NodeID) error
+	MoveEndpoint(ctx context.Context, name string, to topo.NodeID) error
+	RelabelEndpoint(ctx context.Context, name string, labels ...string) error
+	ReportEvent(ctx context.Context, src, dst string, ev policy.Event, delta int) error
+	AdvanceTo(ctx context.Context, hour int) error
+	FailLink(ctx context.Context, a, b topo.NodeID) error
 }
 
 // Replay applies the trace to a runtime, returning how many events applied
 // cleanly; events that become invalid mid-trace (an endpoint already
 // matching, a link already gone) are skipped, mirroring a controller that
 // drops stale notifications.
-func (tr *Trace) Replay(rt Driver) (applied int, err error) {
+func (tr *Trace) Replay(ctx context.Context, rt Driver) (applied int, err error) {
 	for _, e := range tr.Events {
 		var evErr error
 		switch e.Kind {
 		case EvMove:
-			evErr = rt.MoveEndpoint(e.Endpoint, e.Node)
+			evErr = rt.MoveEndpoint(ctx, e.Endpoint, e.Node)
 		case EvRelabel:
-			evErr = rt.RelabelEndpoint(e.Endpoint, e.Labels...)
+			evErr = rt.RelabelEndpoint(ctx, e.Endpoint, e.Labels...)
 		case EvCounter:
-			evErr = rt.ReportEvent(e.Endpoint, e.Peer, e.EventSym, e.Delta)
+			evErr = rt.ReportEvent(ctx, e.Endpoint, e.Peer, e.EventSym, e.Delta)
 		case EvHour:
-			evErr = rt.AdvanceTo(e.Hour)
+			evErr = rt.AdvanceTo(ctx, e.Hour)
 		case EvLinkFail:
-			evErr = rt.FailLink(e.Node, e.Node2)
+			evErr = rt.FailLink(ctx, e.Node, e.Node2)
 		}
 		if evErr == nil {
 			applied++

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -282,11 +283,11 @@ func TestGenerateTraceAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := runtime.New(conf)
+	rt, err := runtime.New(context.Background(), conf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	applied, err := tr.Replay(rt)
+	applied, err := tr.Replay(context.Background(), rt)
 	if err != nil {
 		t.Fatal(err)
 	}
