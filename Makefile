@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos check
+.PHONY: all build vet lint test test-race chaos check bench benchdiff fuzz difftest
 
 all: check
 
@@ -27,6 +27,32 @@ test-race:
 # the self-audit stays clean and failed updates roll back exactly.
 chaos:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/runtime/ -v
+
+# bench regenerates the committed parallel-solver baseline. Run on the
+# machine whose numbers BENCH.json should reflect, then commit the file.
+bench:
+	$(GO) run ./cmd/janusbench -json BENCH.json
+
+# benchdiff re-measures and fails on a >20% (and >250ms absolute) solve-time
+# regression against the committed BENCH.json. Speedup ratios are reported
+# but not gated (they depend on the host's core count).
+benchdiff:
+	$(GO) run ./cmd/janusbench -json BENCH.candidate.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH.json -candidate BENCH.candidate.json
+	rm -f BENCH.candidate.json
+
+# difftest runs the differential solver harness: seeded random MILPs plus
+# corpus replays of real period models, serial vs parallel, re-verified
+# feasible. This is the permanent gate for solver changes.
+difftest:
+	$(GO) test -race -count=1 ./internal/milp/difftest/ -run TestDifferential -v
+	$(GO) test -race -count=1 ./internal/core/ -run TestDifferentialCorpus -v
+
+# fuzz gives the LP fuzzer a short budget beyond its checked-in seed corpus;
+# CI runs this as a smoke, leave it running locally to hunt.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzLPSolve -fuzztime=$(FUZZTIME) ./internal/lp/
 
 # check is the full correctness gate CI runs: compile, vet, januslint,
 # and the test suite under the race detector.

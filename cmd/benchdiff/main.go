@@ -1,0 +1,99 @@
+// Command benchdiff compares a fresh janusbench -json run against the
+// committed BENCH.json baseline and fails (exit 1) on a performance
+// regression.
+//
+// Usage:
+//
+//	janusbench -json BENCH.new.json
+//	benchdiff -baseline BENCH.json -candidate BENCH.new.json
+//
+// A regression is a per-topology solve time more than -threshold (default
+// 20%) slower than baseline AND slower by more than -floor (default 250ms)
+// in absolute terms — the floor keeps sub-second timing jitter on loaded CI
+// machines from failing the gate. Speedup ratios are reported but not
+// gated: they depend on the host's core count, which CI does not pin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"janus/internal/experiments"
+)
+
+func load(path string) (*experiments.Bench, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b experiments.Bench
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH.json", "committed baseline")
+	candidatePath := flag.String("candidate", "", "fresh janusbench -json output")
+	threshold := flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
+	floor := flag.Duration("floor", 250*time.Millisecond, "absolute slowdown below which jitter is ignored")
+	flag.Parse()
+
+	if *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -candidate is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseBy := map[string]experiments.BenchEntry{}
+	for _, e := range base.Entries {
+		baseBy[e.Topology] = e
+	}
+
+	regressions := 0
+	for _, c := range cand.Entries {
+		b, ok := baseBy[c.Topology]
+		if !ok {
+			fmt.Printf("%-12s new topology (no baseline), serial %.3fs parallel %.3fs\n",
+				c.Topology, c.SerialSeconds, c.ParallelSeconds)
+			continue
+		}
+		check := func(kind string, baseSec, candSec float64) {
+			delta := candSec - baseSec
+			rel := 0.0
+			if baseSec > 0 {
+				rel = delta / baseSec
+			}
+			mark := "ok"
+			if rel > *threshold && delta > floor.Seconds() {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-12s %-8s base %8.3fs  now %8.3fs  (%+.1f%%)  %s\n",
+				c.Topology, kind, baseSec, candSec, 100*rel, mark)
+		}
+		check("serial", b.SerialSeconds, c.SerialSeconds)
+		check("parallel", b.ParallelSeconds, c.ParallelSeconds)
+		fmt.Printf("%-12s speedup  base %8.2fx  now %8.2fx  (informational)\n",
+			c.Topology, b.Speedup, c.Speedup)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% + %s\n",
+			regressions, *threshold*100, *floor)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

@@ -7,11 +7,14 @@
 //	janusbench -exp fig11          # one experiment
 //	janusbench -scale 2 -runs 3    # larger sweeps, averaged over 3 seeds
 //	janusbench -list               # list experiments
+//	janusbench -json BENCH.json    # parallel-solver benchmark as JSON
+//	                               # (compared by cmd/benchdiff in CI)
 //
 // See EXPERIMENTS.md for the paper-vs-measured discussion.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	limit := flag.Duration("timelimit", 60*time.Second, "per-solve time limit")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write the parallel-solver benchmark to this JSON file and exit")
+	workers := flag.Int("workers", 4, "parallel worker count for -json")
 	flag.Parse()
 
 	if *list {
@@ -37,6 +42,26 @@ func main() {
 	}
 
 	params := experiments.Params{Scale: *scale, Seed: *seed, Runs: *runs, TimeLimit: *limit}
+
+	if *jsonOut != "" {
+		b, err := experiments.RunParallelBench(params, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(b.Render())
+		return
+	}
 	todo := experiments.All
 	if *exp != "" {
 		e, ok := experiments.Find(*exp)

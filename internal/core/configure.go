@@ -86,6 +86,7 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		RelGap:         c.cfg.RelGap,
 		Branching:      c.cfg.Branching,
 		StallNodes:     c.cfg.StallNodes,
+		Workers:        c.cfg.Workers,
 		BranchPriority: prio,
 		MIPStart:       greedyStart(c, m, prevAssign),
 		WarmStart:      warm,
@@ -127,6 +128,7 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 			Constraints:  m.prob.NumConstraints(),
 			Nodes:        sol.Nodes,
 			LPIterations: sol.LPIterations,
+			Workers:      sol.Workers,
 			Duration:     time.Since(start),
 		},
 		basis: sol.RootBasis,
@@ -201,6 +203,7 @@ func (c *Configurator) keepPrevious(prev *Result, period int, m *model, failed *
 			Constraints:  m.prob.NumConstraints(),
 			Nodes:        failed.Nodes,
 			LPIterations: failed.LPIterations,
+			Workers:      failed.Workers,
 			Duration:     time.Since(start),
 		},
 		basis: prev.basis,

@@ -66,6 +66,11 @@ type Config struct {
 	// improvement (0 = a default of 600; negative = disabled). Applied
 	// identically to ILP and heuristic modes, so comparisons stay fair.
 	StallNodes int
+	// Workers is the branch-and-bound worker count per solve (0 =
+	// GOMAXPROCS). It also bounds the period fan-out of
+	// ConfigureTemporalIndependent, so total solver concurrency stays
+	// proportional to the machine rather than to the period count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -249,7 +254,9 @@ type Stats struct {
 	Constraints  int
 	Nodes        int
 	LPIterations int
-	Duration     time.Duration
+	// Workers is the branch-and-bound worker count that served the solve.
+	Workers  int
+	Duration time.Duration
 }
 
 // Result is the configuration of one time period.

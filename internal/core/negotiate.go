@@ -67,51 +67,16 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 	}
 
 	for k, res := range baseline.Results {
-		// Bottleneck links of this period.
-		bottleneck := map[linkID]bool{}
-		for _, l := range res.Bottlenecks() {
-			bottleneck[linkID{int64(l.From), int64(l.To)}] = true
-		}
-		// Rank configured policies by bottleneck-link usage (descending).
-		type ranked struct {
-			pid  int
-			hits int
-		}
-		var rank []ranked
-		usage := map[int]int{}
-		for _, a := range res.Assignments {
-			if a.Role != HardEdge || !res.Configured[a.Policy] {
-				continue
-			}
-			for _, l := range a.Path.Links() {
-				if bottleneck[linkID{int64(l[0]), int64(l[1])}] {
-					usage[a.Policy]++
-				}
-			}
-		}
-		for pid, hits := range usage {
-			rank = append(rank, ranked{pid, hits})
-		}
-		sort.Slice(rank, func(i, j int) bool {
-			if rank[i].hits != rank[j].hits {
-				return rank[i].hits > rank[j].hits
-			}
-			return rank[i].pid < rank[j].pid
-		})
-		top := int(float64(len(rank))*K/100 + 0.5)
-		if top > len(rank) {
-			top = len(rank)
-		}
-
-		for _, r := range rank[:top] {
-			if over.factor(r.pid, baseline.Periods[k]) != 1 { //janus:allow floatcmp factor returns the exact literal 1 when no override is recorded
+		rank := bottleneckRank(res)
+		for _, r := range rank[:negotiationTop(len(rank), K)] {
+			if over.factor(r.Policy, baseline.Periods[k]) != 1 { //janus:allow floatcmp factor returns the exact literal 1 when no override is recorded
 				continue // already renegotiated at this period
 			}
 			// The policy's per-pair bandwidth at this period.
 			bw := 0.0
 			var pathsAt [][2]int64
 			for _, a := range res.Assignments {
-				if a.Policy == r.pid && a.Role == HardEdge {
+				if a.Policy == r.Policy && a.Role == HardEdge {
 					bw = a.BW
 					break
 				}
@@ -124,14 +89,14 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 			// selected paths has headroom for +N%.
 			for fk := k + 1; fk < len(baseline.Results); fk++ {
 				future := baseline.Results[fk]
-				if !future.Configured[r.pid] {
+				if !future.Configured[r.Policy] {
 					continue
 				}
 				pathsAt = pathsAt[:0]
 				feasible := true
 				need := map[linkID]float64{}
 				for _, a := range future.Assignments {
-					if a.Policy != r.pid || a.Role != HardEdge {
+					if a.Policy != r.Policy || a.Role != HardEdge {
 						continue
 					}
 					for _, l := range a.Path.Links() {
@@ -154,13 +119,13 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 				for l, d := range need {
 					headroom[fk][l] -= d
 				}
-				if over[r.pid] == nil {
-					over[r.pid] = map[int]float64{}
+				if over[r.Policy] == nil {
+					over[r.Policy] = map[int]float64{}
 				}
-				over[r.pid][baseline.Periods[k]] = 1 - N/100
-				over[r.pid][baseline.Periods[fk]] = 1 + N/100
+				over[r.Policy][baseline.Periods[k]] = 1 - N/100
+				over[r.Policy][baseline.Periods[fk]] = 1 + N/100
 				proposals = append(proposals, Proposal{
-					Policy: r.pid, From: baseline.Periods[k], To: baseline.Periods[fk], Percent: N,
+					Policy: r.Policy, From: baseline.Periods[k], To: baseline.Periods[fk], Percent: N,
 				})
 				break
 			}
@@ -177,4 +142,56 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 		Proposals:       proposals,
 		ExtraConfigured: negotiated.TotalConfigured - baseline.TotalConfigured,
 	}, nil
+}
+
+// bottleneckUse is one entry of the §5.6 ranking: how many bottleneck-link
+// crossings a configured policy's hard-edge paths make in a period.
+type bottleneckUse struct {
+	Policy int
+	Hits   int
+}
+
+// bottleneckRank ranks the period's configured policies by bottleneck-link
+// usage, descending, ties broken by ascending policy ID. A bottleneck is a
+// link with positive shadow price in the period's root LP relaxation;
+// policies crossing more of them are the ones whose bandwidth is most worth
+// shifting to a less-contended period. Policies crossing no bottleneck are
+// omitted: shifting their bandwidth frees nothing.
+func bottleneckRank(res *Result) []bottleneckUse {
+	bottleneck := map[[2]int64]bool{}
+	for _, l := range res.Bottlenecks() {
+		bottleneck[[2]int64{int64(l.From), int64(l.To)}] = true
+	}
+	usage := map[int]int{}
+	for _, a := range res.Assignments {
+		if a.Role != HardEdge || !res.Configured[a.Policy] {
+			continue
+		}
+		for _, l := range a.Path.Links() {
+			if bottleneck[[2]int64{int64(l[0]), int64(l[1])}] {
+				usage[a.Policy]++
+			}
+		}
+	}
+	rank := make([]bottleneckUse, 0, len(usage))
+	for pid, hits := range usage {
+		rank = append(rank, bottleneckUse{pid, hits})
+	}
+	sort.Slice(rank, func(i, j int) bool {
+		if rank[i].Hits != rank[j].Hits {
+			return rank[i].Hits > rank[j].Hits
+		}
+		return rank[i].Policy < rank[j].Policy
+	})
+	return rank
+}
+
+// negotiationTop returns how many of n ranked policies fall in the top K
+// percent (K in (0,100]), rounding half up, clamped to n.
+func negotiationTop(n int, K float64) int {
+	top := int(float64(n)*K/100 + 0.5)
+	if top > n {
+		top = n
+	}
+	return top
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"janus/internal/paths"
+	"janus/internal/topo"
+	"janus/internal/workload"
+)
+
+func npath(nodes ...topo.NodeID) paths.Path {
+	return paths.Path{Nodes: nodes}
+}
+
+// TestBottleneckRank hand-checks the §5.6 ranking: policies ordered by how
+// many positive-shadow-price links their configured hard paths cross.
+func TestBottleneckRank(t *testing.T) {
+	links := []LinkUse{
+		{From: 1, To: 2, ShadowPrice: 0.5}, // bottleneck
+		{From: 2, To: 3, ShadowPrice: 0.2}, // bottleneck
+		{From: 3, To: 4, ShadowPrice: 0},   // not a bottleneck
+	}
+	cases := []struct {
+		name string
+		res  *Result
+		want []bottleneckUse
+	}{
+		{
+			name: "ordered by hits descending",
+			res: &Result{
+				Configured: map[int]bool{1: true, 2: true},
+				Links:      links,
+				Assignments: []Assignment{
+					// Policy 1 crosses both bottlenecks: 2 hits.
+					{Policy: 1, Role: HardEdge, Path: npath(1, 2, 3)},
+					// Policy 2 crosses one: 1 hit.
+					{Policy: 2, Role: HardEdge, Path: npath(1, 2)},
+				},
+			},
+			want: []bottleneckUse{{Policy: 1, Hits: 2}, {Policy: 2, Hits: 1}},
+		},
+		{
+			name: "ties broken by ascending policy id",
+			res: &Result{
+				Configured: map[int]bool{4: true, 9: true},
+				Links:      links,
+				Assignments: []Assignment{
+					{Policy: 9, Role: HardEdge, Path: npath(1, 2)},
+					{Policy: 4, Role: HardEdge, Path: npath(2, 3)},
+				},
+			},
+			want: []bottleneckUse{{Policy: 4, Hits: 1}, {Policy: 9, Hits: 1}},
+		},
+		{
+			name: "hits accumulate across a policy's pairs",
+			res: &Result{
+				Configured: map[int]bool{1: true, 2: true},
+				Links:      links,
+				Assignments: []Assignment{
+					{Policy: 1, Role: HardEdge, Src: "a", Dst: "b", Path: npath(1, 2)},
+					{Policy: 1, Role: HardEdge, Src: "a", Dst: "c", Path: npath(2, 3)},
+					{Policy: 2, Role: HardEdge, Path: npath(1, 2, 3)},
+				},
+			},
+			// 2 hits each; policy 1 first by id.
+			want: []bottleneckUse{{Policy: 1, Hits: 2}, {Policy: 2, Hits: 2}},
+		},
+		{
+			name: "unconfigured and soft assignments are ignored",
+			res: &Result{
+				Configured: map[int]bool{1: false, 2: true},
+				Links:      links,
+				Assignments: []Assignment{
+					{Policy: 1, Role: HardEdge, Path: npath(1, 2, 3)}, // I_1 = 0
+					{Policy: 2, Role: SoftEdge, Path: npath(1, 2)},    // reservation, not config
+				},
+			},
+			want: []bottleneckUse{},
+		},
+		{
+			name: "paths off the bottlenecks rank nothing",
+			res: &Result{
+				Configured: map[int]bool{1: true},
+				Links:      links,
+				Assignments: []Assignment{
+					{Policy: 1, Role: HardEdge, Path: npath(3, 4)},
+				},
+			},
+			want: []bottleneckUse{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := bottleneckRank(tc.res)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("bottleneckRank = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNegotiationTop hand-checks the K% selection: round half up, clamp.
+func TestNegotiationTop(t *testing.T) {
+	cases := []struct {
+		n    int
+		k    float64
+		want int
+	}{
+		{10, 20, 2},
+		{10, 25, 3}, // 2.5 rounds half up
+		{10, 24, 2}, // 2.4 rounds down
+		{3, 100, 3},
+		{4, 50, 2},
+		{1, 1, 0}, // 0.01 of one policy rounds to none
+		{1, 60, 1},
+		{0, 100, 0},
+	}
+	for _, tc := range cases {
+		if got := negotiationTop(tc.n, tc.k); got != tc.want {
+			t.Errorf("negotiationTop(%d, %g%%) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestNegotiateValidatesPercentages(t *testing.T) {
+	w, err := workload.Generate("Ans", workload.Spec{Policies: 2, EndpointsPerPolicy: 2, TimePeriods: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, w.Topo, w.Graph, Config{Seed: 5})
+	base, err := c.ConfigureTemporal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kn := range [][2]float64{{0, 10}, {-5, 10}, {101, 10}, {10, 0}, {10, -1}, {10, 150}} {
+		if _, err := c.Negotiate(base, kn[0], kn[1]); err == nil {
+			t.Errorf("Negotiate(K=%g, N=%g) accepted out-of-range percentages", kn[0], kn[1])
+		}
+	}
+}
+
+// TestNegotiateShiftsBandwidth runs the full §5.6 pass on a contended
+// temporal workload and checks the proposal invariants: every shift moves
+// N% from an earlier period to a strictly later one, at most one shift per
+// (policy, period), and the negotiated chain never configures fewer
+// policies than the baseline reports via ExtraConfigured.
+func TestNegotiateShiftsBandwidth(t *testing.T) {
+	w, err := workload.Generate("Ans", workload.Spec{
+		Policies: 8, EndpointsPerPolicy: 2, TimePeriods: 3,
+		MinBW: 40, MaxBW: 120, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, w.Topo, w.Graph, Config{Seed: 17, Workers: 2})
+	base, err := c.ConfigureTemporal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Negotiate(base, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Negotiated == nil || len(res.Negotiated.Results) != len(base.Results) {
+		t.Fatal("negotiated chain missing or mis-sized")
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range res.Proposals {
+		if p.From >= p.To {
+			t.Errorf("proposal %+v shifts bandwidth backward", p)
+		}
+		if p.Percent != 20 { //janus:allow floatcmp N is passed through verbatim
+			t.Errorf("proposal %+v has Percent %g, want 20", p, p.Percent)
+		}
+		key := [2]int{p.Policy, p.From}
+		if seen[key] {
+			t.Errorf("policy %d renegotiated twice at period %d", p.Policy, p.From)
+		}
+		seen[key] = true
+	}
+	if got := res.Negotiated.TotalConfigured - res.Baseline.TotalConfigured; got != res.ExtraConfigured {
+		t.Errorf("ExtraConfigured = %d, want %d", res.ExtraConfigured, got)
+	}
+}

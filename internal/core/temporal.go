@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -71,14 +72,24 @@ func (c *Configurator) ConfigureTemporalIndependent() (*TemporalResult, error) {
 
 	// Period solves share nothing (that is the point of the baseline), so
 	// they run concurrently. Each gets its own Configurator: the path
-	// enumerator cache and RNG are not safe for concurrent use.
+	// enumerator cache and RNG are not safe for concurrent use. The fan-out
+	// is bounded by the configured worker count so a 24-period graph does
+	// not stack 24 branch-and-bound searches (each possibly multi-worker
+	// itself) on one machine.
 	results := make([]*Result, len(periods))
 	errs := make([]error, len(periods))
+	limit := c.cfg.Workers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
 	for i, h := range periods {
 		wg.Add(1)
 		go func(i, h int) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			cfg := c.cfg
 			cfg.Seed = c.cfg.Seed*31 + int64(h)*104729 + 17
 			fresh, err := New(c.topo, c.graph, cfg)
@@ -202,6 +213,7 @@ func (c *Configurator) ConfigureTemporalJoint() (*TemporalResult, error) {
 		TimeLimit: c.cfg.TimeLimit,
 		RelGap:    c.cfg.RelGap,
 		Branching: c.cfg.Branching,
+		Workers:   c.cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: joint temporal solve: %w", err)
@@ -220,6 +232,7 @@ func (c *Configurator) ConfigureTemporalJoint() (*TemporalResult, error) {
 				Variables:   prob.NumVariables(),
 				Constraints: prob.NumConstraints(),
 				Nodes:       sol.Nodes,
+				Workers:     sol.Workers,
 			},
 		}
 		if sol.X != nil {

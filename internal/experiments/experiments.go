@@ -118,6 +118,17 @@ var All = []Experiment{
 	{"table5", "temporal greedy vs independent re-solve (Table 5)", Table5},
 	{"fig16", "weights as priorities: unconfigured by class (Fig 16)", Fig16},
 	{"fig17", "negotiation: extra policies vs N and K (Fig 17)", Fig17},
+	{"parbench", "parallel branch & bound: serial vs multi-worker solve times", ParBench},
+}
+
+// ParBench renders the parallel-solver benchmark as a table; janusbench
+// -json writes the same data as BENCH.json.
+func ParBench(p Params) ([]Table, error) {
+	b, err := RunParallelBench(p, 4)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{b.Render()}, nil
 }
 
 // Find returns the named experiment.

@@ -167,3 +167,33 @@ func TestFig17Smoke(t *testing.T) {
 		t.Errorf("fig17: %d tables, want 2 (N sweep, K sweep)", len(tables))
 	}
 }
+
+func TestParBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExp(t, "parbench")
+	b, err := RunParallelBench(tiny(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want Ans and Cwix", len(b.Entries))
+	}
+	for _, e := range b.Entries {
+		if e.Workers != 4 {
+			t.Errorf("%s: workers = %d, want 4", e.Topology, e.Workers)
+		}
+		if e.SerialSeconds <= 0 || e.ParallelSeconds <= 0 {
+			t.Errorf("%s: non-positive timings %+v", e.Topology, e)
+		}
+		// The parallel solve must not change the answer, only the time.
+		if e.SerialSat != e.ParallelSat {
+			t.Errorf("%s: satisfied diverged serial %d vs parallel %d",
+				e.Topology, e.SerialSat, e.ParallelSat)
+		}
+	}
+	if b.GOMAXPROCS < 1 || b.NumCPU < 1 {
+		t.Errorf("hardware fields unset: %+v", b)
+	}
+}

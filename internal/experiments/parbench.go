@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"janus/internal/core"
+	"janus/internal/workload"
+)
+
+// BenchEntry is one (topology, worker-count) comparison of the fig11
+// 50-policy workload: the same instance solved serially and with the
+// parallel branch-and-bound worker pool.
+type BenchEntry struct {
+	Topology        string  `json:"topology"`
+	Policies        int     `json:"policies"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	SerialNodes     int     `json:"serial_nodes"`
+	ParallelNodes   int     `json:"parallel_nodes"`
+	SerialSat       int     `json:"serial_satisfied"`
+	ParallelSat     int     `json:"parallel_satisfied"`
+}
+
+// Bench is the janusbench -json document, committed as BENCH.json and
+// compared by cmd/benchdiff. Hardware fields make cross-machine numbers
+// interpretable: a 1-core container cannot show wall-clock speedup no
+// matter how good the worker pool is.
+type Bench struct {
+	GeneratedBy string       `json:"generated_by"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Scale       float64      `json:"scale"`
+	Seed        int64        `json:"seed"`
+	Runs        int          `json:"runs"`
+	Entries     []BenchEntry `json:"entries"`
+}
+
+// benchMeasure solves the fig11-shaped workload once and reports duration,
+// node count, and satisfaction.
+func benchMeasure(topoName string, spec workload.Spec, workers int, timeLimit time.Duration) (time.Duration, int, int, error) {
+	w, err := workload.Generate(topoName, spec)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cfg := core.Config{CandidatePaths: 5, Seed: spec.Seed, Workers: workers, TimeLimit: timeLimit}
+	conf, err := core.New(w.Topo, w.Graph, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	res, err := conf.Configure(0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return time.Since(start), res.Stats.Nodes, res.SatisfiedCount(), nil
+}
+
+// RunParallelBench measures serial (Workers=1) vs parallel (Workers=workers)
+// solves of the fig11 50-policy workload on Ans and Cwix, averaged over
+// p.Runs seeds. Satisfaction counts are reported so a "speedup" produced by
+// solving a different problem is visible immediately.
+func RunParallelBench(p Params, workers int) (*Bench, error) {
+	p = p.withDefaults()
+	if workers <= 0 {
+		workers = 4
+	}
+	b := &Bench{
+		GeneratedBy: "janusbench -json",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Scale:       p.Scale,
+		Seed:        p.Seed,
+		Runs:        p.Runs,
+	}
+	policies := p.scaled(50)
+	for _, topoName := range []string{"Ans", "Cwix"} {
+		var serialDur, parDur time.Duration
+		var serialNodes, parNodes, serialSat, parSat int
+		for r := 0; r < p.Runs; r++ {
+			spec := workload.Spec{Policies: policies, EndpointsPerPolicy: 2, Seed: p.Seed + int64(r)*7919}
+			sd, sn, ss, err := benchMeasure(topoName, spec, 1, p.TimeLimit)
+			if err != nil {
+				return nil, fmt.Errorf("parbench %s serial: %w", topoName, err)
+			}
+			pd, pn, ps, err := benchMeasure(topoName, spec, workers, p.TimeLimit)
+			if err != nil {
+				return nil, fmt.Errorf("parbench %s parallel: %w", topoName, err)
+			}
+			serialDur += sd
+			parDur += pd
+			serialNodes += sn
+			parNodes += pn
+			serialSat += ss
+			parSat += ps
+		}
+		e := BenchEntry{
+			Topology:        topoName,
+			Policies:        policies,
+			Workers:         workers,
+			SerialSeconds:   serialDur.Seconds() / float64(p.Runs),
+			ParallelSeconds: parDur.Seconds() / float64(p.Runs),
+			SerialNodes:     serialNodes / p.Runs,
+			ParallelNodes:   parNodes / p.Runs,
+			SerialSat:       serialSat / p.Runs,
+			ParallelSat:     parSat / p.Runs,
+		}
+		if e.ParallelSeconds > 0 {
+			e.Speedup = e.SerialSeconds / e.ParallelSeconds
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	return b, nil
+}
+
+// Render formats the bench as a text table for the non-JSON output path.
+func (b *Bench) Render() Table {
+	t := Table{
+		Title: fmt.Sprintf("Parallel B&B — fig11 50-policy workload, serial vs %d workers (GOMAXPROCS=%d)",
+			benchWorkers(b), b.GOMAXPROCS),
+		Header: []string{"topology", "serial", "parallel", "speedup", "serial nodes", "par nodes"},
+	}
+	for _, e := range b.Entries {
+		t.Rows = append(t.Rows, []string{
+			e.Topology,
+			fmt.Sprintf("%.3fs", e.SerialSeconds),
+			fmt.Sprintf("%.3fs", e.ParallelSeconds),
+			fmt.Sprintf("%.2fx", e.Speedup),
+			fmt.Sprint(e.SerialNodes),
+			fmt.Sprint(e.ParallelNodes),
+		})
+	}
+	return t
+}
+
+func benchWorkers(b *Bench) int {
+	if len(b.Entries) > 0 {
+		return b.Entries[0].Workers
+	}
+	return 0
+}

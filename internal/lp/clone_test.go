@@ -1,0 +1,130 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// buildCloneFixture is a small LP with every constraint sense and a mix of
+// bound shapes, so Clone has something of each kind to copy.
+func buildCloneFixture(t *testing.T) (*Problem, [3]int) {
+	t.Helper()
+	p := NewProblem()
+	a := p.AddVariable(0, 4, 3)
+	b := p.AddVariable(-1, 2, 2)
+	c := p.AddBinary(1)
+	rows := [][]Term{
+		{{Var: a, Coef: 1}, {Var: b, Coef: 2}},
+		{{Var: b, Coef: 1}, {Var: c, Coef: 1}},
+		{{Var: a, Coef: 1}, {Var: c, Coef: -1}},
+	}
+	senses := []Sense{LE, GE, EQ}
+	rhs := []float64{6, -1, 1}
+	for i := range rows {
+		if _, err := p.AddConstraint(senses[i], rhs[i], rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, [3]int{a, b, c}
+}
+
+func TestCloneSolvesIdentically(t *testing.T) {
+	p, _ := buildCloneFixture(t)
+	c := p.Clone()
+
+	orig, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := c.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Status != cloned.Status {
+		t.Fatalf("status: orig %v, clone %v", orig.Status, cloned.Status)
+	}
+	if math.Abs(orig.Objective-cloned.Objective) > 1e-9 {
+		t.Errorf("objective: orig %v, clone %v", orig.Objective, cloned.Objective)
+	}
+	for v := range orig.X {
+		if math.Abs(orig.X[v]-cloned.X[v]) > 1e-9 {
+			t.Errorf("x[%d]: orig %v, clone %v", v, orig.X[v], cloned.X[v])
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p, vars := buildCloneFixture(t)
+	c := p.Clone()
+
+	// Mutate the clone in every way the solver layers do.
+	if err := c.SetBounds(vars[0], 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetObjective(vars[1], -5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddConstraint(LE, 0.5, []Term{{Var: vars[2], Coef: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddVariable(0, 1, 1)
+
+	// The original must be untouched.
+	if lo, up := p.Bounds(vars[0]); lo != 0 || up != 4 { //janus:allow floatcmp bounds set from exact literals
+		t.Errorf("original bounds mutated: [%v,%v]", lo, up)
+	}
+	if got := p.ObjectiveCoef(vars[1]); got != 2 { //janus:allow floatcmp objective set from exact literal
+		t.Errorf("original objective mutated: %v", got)
+	}
+	if p.NumConstraints() != 3 {
+		t.Errorf("original constraint count = %d, want 3", p.NumConstraints())
+	}
+	if p.NumVariables() != 3 {
+		t.Errorf("original variable count = %d, want 3", p.NumVariables())
+	}
+}
+
+func TestCloneSharesBasisLayout(t *testing.T) {
+	// A basis snapshotted from one clone must warm-start another clone.
+	p, _ := buildCloneFixture(t)
+	first, err := p.Clone().Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Clone().Solve(Options{WarmStart: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("warm status = %v", warm.Status)
+	}
+	if math.Abs(warm.Objective-first.Objective) > 1e-9 {
+		t.Errorf("objective: %v vs %v", warm.Objective, first.Objective)
+	}
+	if warm.Iterations > first.Iterations {
+		t.Errorf("warm start took more iterations (%d) than cold (%d)", warm.Iterations, first.Iterations)
+	}
+}
+
+func TestConstraintAccessor(t *testing.T) {
+	p, vars := buildCloneFixture(t)
+	sense, rhs, terms := p.Constraint(1)
+	if sense != GE || rhs != -1 { //janus:allow floatcmp rhs set from exact literal
+		t.Fatalf("row 1 = (%v, %v), want (GE, -1)", sense, rhs)
+	}
+	want := []Term{{Var: vars[1], Coef: 1}, {Var: vars[2], Coef: 1}}
+	if len(terms) != len(want) {
+		t.Fatalf("terms = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Errorf("terms[%d] = %v, want %v", i, terms[i], want[i])
+		}
+	}
+	// Mutating the returned slice must not alias the problem.
+	terms[0].Coef = 99
+	_, _, again := p.Constraint(1)
+	if again[0].Coef != 1 { //janus:allow floatcmp coefficient set from exact literal
+		t.Error("Constraint returned an aliased slice")
+	}
+}

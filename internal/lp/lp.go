@@ -133,6 +133,47 @@ func (p *Problem) SetBounds(v int, lo, up float64) error {
 // Bounds returns a variable's bounds.
 func (p *Problem) Bounds(v int) (lo, up float64) { return p.lo[v], p.up[v] }
 
+// ObjectiveCoef returns a variable's objective coefficient.
+func (p *Problem) ObjectiveCoef(v int) float64 { return p.obj[v] }
+
+// Constraint returns row i's sense, right-hand side, and terms (a copy, in
+// ascending variable order). It lets callers — feasibility checkers, the
+// differential solver harness — evaluate solutions without reaching into
+// the problem's internals.
+func (p *Problem) Constraint(i int) (Sense, float64, []Term) {
+	r := &p.rows[i]
+	terms := make([]Term, len(r.vars))
+	for k, v := range r.vars {
+		terms[k] = Term{Var: v, Coef: r.coefs[k]}
+	}
+	return p.sense[i], p.rhs[i], terms
+}
+
+// Clone returns an independent deep copy of the problem. Concurrent solver
+// workers each own a clone: Solve, SetBounds, and SetObjective on one clone
+// never observe or disturb another, so branch-and-bound workers can re-solve
+// LPs with different bound fixings in parallel. A Basis snapshotted from one
+// clone warm-starts any other clone of the same problem (the variable and
+// row layouts are identical).
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		nStruct: p.nStruct,
+		lo:      append([]float64(nil), p.lo...),
+		up:      append([]float64(nil), p.up...),
+		obj:     append([]float64(nil), p.obj...),
+		rows:    make([]row, len(p.rows)),
+		sense:   append([]Sense(nil), p.sense...),
+		rhs:     append([]float64(nil), p.rhs...),
+	}
+	for i := range p.rows {
+		c.rows[i] = row{
+			vars:  append([]int(nil), p.rows[i].vars...),
+			coefs: append([]float64(nil), p.rows[i].coefs...),
+		}
+	}
+	return c
+}
+
 // AddConstraint adds a row Σ terms (sense) rhs and returns its index.
 // Duplicate variables within one row are summed.
 func (p *Problem) AddConstraint(sense Sense, rhs float64, terms []Term) (int, error) {
@@ -644,10 +685,16 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 		var to int8
 		if delta > 0 {
 			// Basic increases toward its upper bound (or, if currently
-			// below lower, toward the lower bound first).
+			// below lower, toward the lower bound first). One already above
+			// its upper bound never crosses a bound by increasing further:
+			// it must not block, or it would leave the basis at a bound it
+			// does not sit on, teleporting its value and silently corrupting
+			// every other basic (found by FuzzLPSolve).
 			switch {
 			case x < s.lo[v]-feasTol:
 				limit, to = (s.lo[v]-x)/delta, atLower
+			case x > s.up[v]+feasTol:
+				continue
 			case math.IsInf(s.up[v], 1):
 				continue
 			default:
@@ -657,6 +704,8 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 			switch {
 			case x > s.up[v]+feasTol:
 				limit, to = (s.up[v]-x)/delta, atUpper
+			case x < s.lo[v]-feasTol:
+				continue
 			case math.IsInf(s.lo[v], -1):
 				continue
 			default:

@@ -78,6 +78,15 @@ type Options struct {
 	MIPStart map[int]float64
 	// WarmStart seeds the root relaxation.
 	WarmStart *lp.Basis
+	// Workers is the number of branch-and-bound workers; 0 means
+	// GOMAXPROCS. With one worker the search is the deterministic
+	// depth-first dive; with more, workers pull nodes from a shared
+	// best-first queue and solve node LPs concurrently on private problem
+	// clones, which makes the exploration order — and therefore which
+	// ε-optimal incumbent is returned — nondeterministic. The objective
+	// value agrees with the serial solve within RelGap (enforced by the
+	// difftest harness).
+	Workers int
 }
 
 // BranchRule selects how the branching variable is chosen.
@@ -108,6 +117,8 @@ type Solution struct {
 	RootDuals []float64
 	// RootBasis snapshots the root relaxation basis for warm restarts.
 	RootBasis *lp.Basis
+	// Workers is the number of branch-and-bound workers the solve ran with.
+	Workers int
 }
 
 const (
@@ -149,6 +160,10 @@ type node struct {
 // cancelling it (an HTTP client abandoning /configure, a shutdown) aborts
 // the search promptly and returns the context's error — distinct from
 // TimeLimit, which is a planned budget and yields the best incumbent.
+//
+// With Options.Workers > 1 the search runs on a worker pool sharing a
+// best-first node queue; see solveParallel. Workers = 1 is the
+// deterministic serial dive below.
 func (s *Solver) Solve(ctx context.Context, opts Options) (*Solution, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -156,14 +171,19 @@ func (s *Solver) Solve(ctx context.Context, opts Options) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("milp: solve aborted: %w", err)
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("milp: %w", err)
+	}
+	opts = opts.withDefaults()
+	if opts.Workers > 1 {
+		return s.solveParallel(ctx, opts)
+	}
+	return s.solveSerial(ctx, opts)
+}
+
+func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, error) {
 	maxNodes := opts.MaxNodes
-	if maxNodes <= 0 {
-		maxNodes = 200000
-	}
 	relGap := opts.RelGap
-	if relGap <= 0 {
-		relGap = 1e-6
-	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -181,7 +201,7 @@ func (s *Solver) Solve(ctx context.Context, opts Options) (*Solution, error) {
 		intIndex[v] = i
 	}
 
-	sol := &Solution{Status: Limit, Objective: math.Inf(-1), Bound: math.Inf(1)}
+	sol := &Solution{Status: Limit, Objective: math.Inf(-1), Bound: math.Inf(1), Workers: 1}
 
 	// Root relaxation.
 	root, err := s.solveLP(nil, opts.WarmStart)

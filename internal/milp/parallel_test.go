@@ -1,0 +1,255 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"janus/internal/lp"
+)
+
+// randomPacking builds a seeded random multi-constraint packing MILP with n
+// binaries — the same shape the Janus models take (binary indicators under
+// LE capacity rows), hard enough to force real branching.
+func randomPacking(seed int64, n, rows int) (*lp.Problem, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	p := lp.NewProblem()
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddBinary(1 + rng.Float64()*4)
+	}
+	for r := 0; r < rows; r++ {
+		terms := make([]lp.Term, 0, n/2)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				terms = append(terms, lp.Term{Var: vars[i], Coef: 1 + rng.Float64()*3})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, lp.Term{Var: vars[rng.Intn(n)], Coef: 1})
+		}
+		if _, err := p.AddConstraint(lp.LE, 2+rng.Float64()*4, terms); err != nil {
+			panic(err)
+		}
+	}
+	return p, vars
+}
+
+// TestParallelMatchesSerial is the in-package smoke version of the difftest
+// gate: identical objectives (within gap) from 1 and 4 workers. Run under
+// -race this also exercises the queue/incumbent synchronization.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		p, vars := randomPacking(seed, 16, 5)
+		serial, err := NewSolver(p.Clone(), vars).Solve(context.Background(), Options{Workers: 1, RelGap: 1e-9})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		par, err := NewSolver(p.Clone(), vars).Solve(context.Background(), Options{Workers: 4, RelGap: 1e-9})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if serial.Status != Optimal || par.Status != Optimal {
+			t.Fatalf("seed %d: statuses %v / %v", seed, serial.Status, par.Status)
+		}
+		if !approx(par.Objective, serial.Objective) {
+			t.Errorf("seed %d: parallel %v != serial %v", seed, par.Objective, serial.Objective)
+		}
+		if par.Workers != 4 || serial.Workers != 1 {
+			t.Errorf("seed %d: Workers recorded as %d / %d, want 4 / 1", seed, par.Workers, serial.Workers)
+		}
+	}
+}
+
+// The node budget must be exact even with several workers in flight: nodes
+// are claimed against MaxNodes under the queue lock.
+func TestParallelNodeLimitStrict(t *testing.T) {
+	p, vars := randomPacking(5, 30, 1)
+	sol, err := NewSolver(p, vars).Solve(context.Background(), Options{Workers: 4, MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Nodes > 3 {
+		t.Errorf("explored %d nodes with MaxNodes=3", sol.Nodes)
+	}
+}
+
+func TestParallelBoundsRestored(t *testing.T) {
+	p, vars := randomPacking(7, 12, 4)
+	if _, err := NewSolver(p, vars).Solve(context.Background(), Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		lo, up := p.Bounds(v)
+		if lo != 0 || up != 1 { //janus:allow floatcmp binary bounds are exact literals
+			t.Errorf("bounds of %d = [%v,%v], want [0,1]", v, lo, up)
+		}
+	}
+}
+
+func TestParallelInfeasible(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddBinary(1)
+	b := p.AddBinary(1)
+	if _, err := p.AddConstraint(lp.GE, 3, []lp.Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestParallelContextCancelMidSearch(t *testing.T) {
+	p, vars := randomPacking(11, 40, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Already-cancelled context aborts before the root solve.
+	if _, err := NewSolver(p.Clone(), vars).Solve(ctx, Options{Workers: 4}); err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	// Cancel racing the search: must surface an error, not hang.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = NewSolver(p.Clone(), vars).Solve(ctx2, Options{Workers: 4, MaxNodes: 2000000})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel solve did not return after context cancellation")
+	}
+}
+
+func TestParallelTimeLimitYieldsIncumbent(t *testing.T) {
+	p, vars := randomPacking(13, 40, 10)
+	sol, err := NewSolver(p, vars).Solve(context.Background(), Options{Workers: 4, TimeLimit: 30 * time.Millisecond, MaxNodes: 2000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rounding heuristics at the root guarantee some incumbent.
+	if sol.X == nil {
+		t.Fatalf("no incumbent after time limit (status %v)", sol.Status)
+	}
+	if sol.Bound < sol.Objective-tol {
+		t.Errorf("bound %v below incumbent %v", sol.Bound, sol.Objective)
+	}
+}
+
+func TestParallelMIPStartSeedsIncumbent(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddBinary(10)
+	b := p.AddBinary(6)
+	c := p.AddBinary(4)
+	if _, err := p.AddConstraint(lp.LE, 8, []lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 4}, {Var: c, Coef: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(),
+		Options{Workers: 4, MaxNodes: 1, MIPStart: map[int]float64{a: 1, b: 0, c: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X == nil || !approx(sol.Objective, 14) {
+		t.Errorf("objective = %v, want 14 from the MIP start", sol.Objective)
+	}
+}
+
+// An integral root must short-circuit identically in both modes.
+func TestParallelIntegralRoot(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddBinary(2)
+	b := p.AddBinary(1)
+	// No constraints: relaxation puts both at their upper bound — integral.
+	sol, err := NewSolver(p, []int{a, b}).Solve(context.Background(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 3) {
+		t.Errorf("status=%v obj=%v, want optimal 3", sol.Status, sol.Objective)
+	}
+	if sol.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1 for an integral root", sol.Nodes)
+	}
+}
+
+// Mixed problems: continuous variables stay continuous under parallel search.
+func TestParallelMixedIntegerContinuous(t *testing.T) {
+	p := lp.NewProblem()
+	y := p.AddBinary(4)
+	x := p.AddVariable(0, 3.7, 1)
+	if _, err := p.AddConstraint(lp.LE, 4, []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(p, []int{y}).Solve(context.Background(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 6) || !approx(sol.X[y], 1) || !approx(sol.X[x], 2) {
+		t.Errorf("obj=%v X=%v, want 6, y=1, x=2", sol.Objective, sol.X)
+	}
+}
+
+// Workers beyond the frontier size must not deadlock or double-claim.
+func TestParallelMoreWorkersThanNodes(t *testing.T) {
+	p := lp.NewProblem()
+	a := p.AddBinary(10)
+	b := p.AddBinary(6)
+	c := p.AddBinary(4)
+	if _, err := p.AddConstraint(lp.LE, 8, []lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 4}, {Var: c, Coef: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(p, []int{a, b, c}).Solve(context.Background(), Options{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 14) {
+		t.Errorf("status=%v obj=%v, want optimal 14", sol.Status, sol.Objective)
+	}
+}
+
+// The proof bound must stay valid (>= true optimum) when the search stops
+// early with open and in-flight nodes.
+func TestParallelBoundValidUnderStall(t *testing.T) {
+	p, vars := randomPacking(23, 24, 6)
+	full, err := NewSolver(p.Clone(), vars).Solve(context.Background(), Options{Workers: 1, RelGap: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, err := NewSolver(p.Clone(), vars).Solve(context.Background(), Options{Workers: 4, StallNodes: 2, RelGap: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalled.X == nil {
+		t.Fatal("stalled search lost its incumbent")
+	}
+	if stalled.Bound < full.Objective-tol {
+		t.Errorf("stalled bound %v below true optimum %v", stalled.Bound, full.Objective)
+	}
+	if stalled.Objective > full.Objective+tol {
+		t.Errorf("stalled incumbent %v above true optimum %v", stalled.Objective, full.Objective)
+	}
+}
+
+func TestParallelDualsAndRootBasisExposed(t *testing.T) {
+	p, vars := randomPacking(31, 10, 3)
+	sol, err := NewSolver(p, vars).Solve(context.Background(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.RootDuals == nil {
+		t.Error("root duals missing from parallel solve")
+	}
+	if sol.RootBasis == nil {
+		t.Error("root basis missing from parallel solve")
+	}
+	if math.IsInf(sol.Bound, 1) {
+		t.Error("bound never tightened from +Inf")
+	}
+}

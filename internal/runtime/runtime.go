@@ -52,6 +52,16 @@ type Metrics struct {
 	TierHistory []string
 	// TierCounts aggregates TierHistory plus the initial configuration.
 	TierCounts map[string]int
+
+	// SolverWorkers is the branch-and-bound worker count of the most
+	// recently installed configuration's solve.
+	SolverWorkers int
+	// SolverNodes sums branch-and-bound nodes across installed solves.
+	SolverNodes int
+	// SolverNodeRate is the most recent solve's node throughput
+	// (nodes per second of solve wall time); 0 when the solve was too
+	// fast to time meaningfully.
+	SolverNodeRate float64
 }
 
 // Runtime is a live Janus instance: a configurator, its current result, and
@@ -177,6 +187,11 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 		r.metrics.TierCounts = map[string]int{}
 	}
 	r.metrics.TierCounts[res.Tier.String()]++
+	r.metrics.SolverWorkers = res.Stats.Workers
+	r.metrics.SolverNodes += res.Stats.Nodes
+	if d := res.Stats.Duration.Seconds(); d > 0 {
+		r.metrics.SolverNodeRate = float64(res.Stats.Nodes) / d
+	}
 	r.metrics.RulesInstalled += rep.RulesInstalled
 	r.metrics.RulesUpdated += rep.RulesUpdated
 	r.metrics.RulesRemoved += rep.RulesRemoved

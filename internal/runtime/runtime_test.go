@@ -322,3 +322,36 @@ func TestFailLinkReroutes(t *testing.T) {
 		t.Error("failing the same link twice should error")
 	}
 }
+
+func TestSolverMetricsRecorded(t *testing.T) {
+	tp, _, conf := statefulSetup(t)
+	r, err := New(context.Background(), conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.SolverWorkers < 1 {
+		t.Errorf("SolverWorkers = %d, want >= 1 after the initial solve", m.SolverWorkers)
+	}
+	if m.SolverNodes < 1 {
+		t.Errorf("SolverNodes = %d, want >= 1", m.SolverNodes)
+	}
+	nodesBefore := m.SolverNodes
+	// A reconfiguration accumulates nodes and refreshes the worker count.
+	var midID topo.NodeID
+	for _, n := range tp.Nodes {
+		if n.Name == "mid" {
+			midID = n.ID
+		}
+	}
+	if err := r.MoveEndpoint(context.Background(), "c1", midID); err != nil {
+		t.Fatal(err)
+	}
+	m = r.Metrics()
+	if m.SolverNodes <= nodesBefore {
+		t.Errorf("SolverNodes = %d, want > %d after reconfiguration", m.SolverNodes, nodesBefore)
+	}
+	if m.SolverNodeRate < 0 {
+		t.Errorf("SolverNodeRate = %g, want >= 0", m.SolverNodeRate)
+	}
+}

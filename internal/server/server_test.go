@@ -163,6 +163,13 @@ func TestEventFlow(t *testing.T) {
 	if body["StatefulReroutes"].(float64) != 1 {
 		t.Errorf("StatefulReroutes = %v, want 1", body["StatefulReroutes"])
 	}
+	// Solver telemetry from the initial configure flows through verbatim.
+	if body["SolverWorkers"].(float64) < 1 {
+		t.Errorf("SolverWorkers = %v, want >= 1", body["SolverWorkers"])
+	}
+	if body["SolverNodes"].(float64) < 1 {
+		t.Errorf("SolverNodes = %v, want >= 1", body["SolverNodes"])
+	}
 
 	// Mobility.
 	var mid topo.NodeID
