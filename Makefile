@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos check bench benchdiff fuzz difftest
+.PHONY: all build vet lint test test-race chaos check bench bench-lp benchdiff fuzz difftest
 
 all: check
 
@@ -28,10 +28,16 @@ test-race:
 chaos:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/runtime/ -v
 
-# bench regenerates the committed parallel-solver baseline. Run on the
+# bench regenerates the committed parallel-solver baseline, including the
+# lp_micro simplex microbenchmark section benchdiff gates. Run on the
 # machine whose numbers BENCH.json should reflect, then commit the file.
 bench:
 	$(GO) run ./cmd/janusbench -json BENCH.json
+
+# bench-lp runs the simplex microbenchmarks directly (cold solve and the
+# branch-and-bound warm re-solve pattern) with allocation counts.
+bench-lp:
+	$(GO) test -run xxx -bench 'BenchmarkLP' -benchmem ./internal/lp/
 
 # benchdiff re-measures and fails on a >20% (and >250ms absolute) solve-time
 # regression against the committed BENCH.json. Speedup ratios are reported

@@ -12,6 +12,11 @@
 // in absolute terms — the floor keeps sub-second timing jitter on loaded CI
 // machines from failing the gate. Speedup ratios are reported but not
 // gated: they depend on the host's core count, which CI does not pin.
+//
+// Schema v2 baselines additionally carry an lp_micro section (simplex-level
+// cold/warm latency and warm allocations per solve); those are gated with
+// the same relative threshold and a -microfloor absolute floor. Baselines
+// from older schema versions simply skip the newer gates.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	candidatePath := flag.String("candidate", "", "fresh janusbench -json output")
 	threshold := flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
 	floor := flag.Duration("floor", 250*time.Millisecond, "absolute slowdown below which jitter is ignored")
+	microFloor := flag.Duration("microfloor", 250*time.Microsecond, "absolute lp_micro slowdown below which jitter is ignored")
 	flag.Parse()
 
 	if *candidatePath == "" {
@@ -90,6 +96,42 @@ func main() {
 		fmt.Printf("%-12s speedup  base %8.2fx  now %8.2fx  (informational)\n",
 			c.Topology, b.Speedup, c.Speedup)
 	}
+	// LP microbenchmark gate: only when the baseline has the v2 section —
+	// an old baseline (schema_version < 2 or missing lp_micro) skips it,
+	// so the gate phases in on the first re-record.
+	switch {
+	case base.LPMicro == nil:
+		fmt.Println("lp_micro      baseline predates schema v2; gate skipped")
+	case cand.LPMicro == nil:
+		fmt.Println("lp_micro      candidate has no lp_micro section; gate skipped")
+	default:
+		mcheck := func(kind string, baseMic, candMic float64) {
+			delta := candMic - baseMic
+			rel := 0.0
+			if baseMic > 0 {
+				rel = delta / baseMic
+			}
+			mark := "ok"
+			if rel > *threshold && delta > float64(microFloor.Microseconds()) {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-12s %-8s base %7.1fµs  now %7.1fµs  (%+.1f%%)  %s\n",
+				"lp_micro", kind, baseMic, candMic, 100*rel, mark)
+		}
+		mcheck("cold", base.LPMicro.ColdMicros, cand.LPMicro.ColdMicros)
+		mcheck("warm", base.LPMicro.WarmMicros, cand.LPMicro.WarmMicros)
+		// Allocations are deterministic, so any growth beyond the relative
+		// threshold is a real regression — no absolute floor needed.
+		ba, ca := base.LPMicro.WarmAllocsPerSolve, cand.LPMicro.WarmAllocsPerSolve
+		mark := "ok"
+		if ba > 0 && ca > ba*(1+*threshold) && ca > ba+1 {
+			mark = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-12s %-8s base %7.1f    now %7.1f    %s\n", "lp_micro", "allocs", ba, ca, mark)
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% + %s\n",
 			regressions, *threshold*100, *floor)

@@ -9,6 +9,7 @@
 //	janusbench -list               # list experiments
 //	janusbench -json BENCH.json    # parallel-solver benchmark as JSON
 //	                               # (compared by cmd/benchdiff in CI)
+//	janusbench -cpuprofile cpu.pprof -exp fig11   # profile a run
 //
 // See EXPERIMENTS.md for the paper-vs-measured discussion.
 package main
@@ -18,12 +19,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"janus/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so profile-stopping defers execute before the
+// process exits.
+func run() int {
 	exp := flag.String("exp", "", "experiment to run (empty = all)")
 	scale := flag.Float64("scale", 1, "size multiplier for policy counts")
 	runs := flag.Int("runs", 1, "seeds to average over (paper: 10)")
@@ -32,13 +41,45 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "write the parallel-solver benchmark to this JSON file and exit")
 	workers := flag.Int("workers", 4, "parallel worker count for -json")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All {
 			fmt.Printf("%-8s %s\n", e.Name, e.Description)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close() // best-effort: the profile is already flushed
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "janusbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accurate allocation stats into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "janusbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	params := experiments.Params{Scale: *scale, Seed: *seed, Runs: *runs, TimeLimit: *limit}
@@ -47,27 +88,27 @@ func main() {
 		b, err := experiments.RunParallelBench(params, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: parbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(b.Render())
-		return
+		return 0
 	}
 	todo := experiments.All
 	if *exp != "" {
 		e, ok := experiments.Find(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "janusbench: unknown experiment %q (use -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
 	}
@@ -77,11 +118,12 @@ func main() {
 		tables, err := e.Run(params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			fmt.Println(t)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -126,10 +126,12 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		Stats: Stats{
 			Variables:    m.prob.NumVariables(),
 			Constraints:  m.prob.NumConstraints(),
-			Nodes:        sol.Nodes,
-			LPIterations: sol.LPIterations,
-			Workers:      sol.Workers,
-			Duration:     time.Since(start),
+			Nodes:            sol.Nodes,
+			LPIterations:     sol.LPIterations,
+			Refactorizations: sol.Refactorizations,
+			PricingSwitches:  sol.PricingSwitches,
+			Workers:          sol.Workers,
+			Duration:         time.Since(start),
 		},
 		basis: sol.RootBasis,
 	}
@@ -201,9 +203,11 @@ func (c *Configurator) keepPrevious(prev *Result, period int, m *model, failed *
 		Stats: Stats{
 			Variables:    m.prob.NumVariables(),
 			Constraints:  m.prob.NumConstraints(),
-			Nodes:        failed.Nodes,
-			LPIterations: failed.LPIterations,
-			Workers:      failed.Workers,
+			Nodes:            failed.Nodes,
+			LPIterations:     failed.LPIterations,
+			Refactorizations: failed.Refactorizations,
+			PricingSwitches:  failed.PricingSwitches,
+			Workers:          failed.Workers,
 			Duration:     time.Since(start),
 		},
 		basis: prev.basis,

@@ -254,6 +254,13 @@ type Stats struct {
 	Constraints  int
 	Nodes        int
 	LPIterations int
+	// Refactorizations counts LP basis refactorizations across every node
+	// solve; near-zero per node means warm starts reused the retained
+	// factorization.
+	Refactorizations int
+	// PricingSwitches counts candidate-list pricing exhaustions that fell
+	// back to a full Dantzig scan across every node solve.
+	PricingSwitches int
 	// Workers is the branch-and-bound worker count that served the solve.
 	Workers  int
 	Duration time.Duration

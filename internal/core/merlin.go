@@ -59,9 +59,11 @@ func (c *Configurator) CheckFeasibility(period int) (*FeasibilityReport, error) 
 		Stats: Stats{
 			Variables:    m.prob.NumVariables(),
 			Constraints:  m.prob.NumConstraints(),
-			Nodes:        sol.Nodes,
-			LPIterations: sol.LPIterations,
-			Duration:     time.Since(start),
+			Nodes:            sol.Nodes,
+			LPIterations:     sol.LPIterations,
+			Refactorizations: sol.Refactorizations,
+			PricingSwitches:  sol.PricingSwitches,
+			Duration:         time.Since(start),
 		},
 	}
 	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {

@@ -229,10 +229,13 @@ func (c *Configurator) ConfigureTemporalJoint() (*TemporalResult, error) {
 			SlackUsed:  map[int]bool{},
 			Status:     sol.Status,
 			Stats: Stats{
-				Variables:   prob.NumVariables(),
-				Constraints: prob.NumConstraints(),
-				Nodes:       sol.Nodes,
-				Workers:     sol.Workers,
+				Variables:        prob.NumVariables(),
+				Constraints:      prob.NumConstraints(),
+				Nodes:            sol.Nodes,
+				LPIterations:     sol.LPIterations,
+				Refactorizations: sol.Refactorizations,
+				PricingSwitches:  sol.PricingSwitches,
+				Workers:          sol.Workers,
 			},
 		}
 		if sol.X != nil {

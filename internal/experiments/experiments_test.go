@@ -196,4 +196,27 @@ func TestParBenchSmoke(t *testing.T) {
 	if b.GOMAXPROCS < 1 || b.NumCPU < 1 {
 		t.Errorf("hardware fields unset: %+v", b)
 	}
+	// Schema v2: allocations-per-solve and the lp_micro section.
+	if b.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", b.SchemaVersion, BenchSchemaVersion)
+	}
+	for _, e := range b.Entries {
+		if e.SerialAllocsPerSolve == 0 || e.ParallelAllocsPerSolve == 0 {
+			t.Errorf("%s: allocations-per-solve unset: %+v", e.Topology, e)
+		}
+	}
+	if b.LPMicro == nil {
+		t.Fatal("lp_micro section missing")
+	}
+	if b.LPMicro.ColdMicros <= 0 || b.LPMicro.WarmMicros <= 0 {
+		t.Errorf("lp_micro timings unset: %+v", b.LPMicro)
+	}
+	if b.LPMicro.WarmMicros >= b.LPMicro.ColdMicros {
+		t.Errorf("warm solve (%.1fµs) not cheaper than cold (%.1fµs): factorization reuse broken",
+			b.LPMicro.WarmMicros, b.LPMicro.ColdMicros)
+	}
+	if b.LPMicro.WarmAllocsPerSolve > 100 {
+		t.Errorf("warm re-solve allocates %.1f allocs/solve; workspace reuse broken",
+			b.LPMicro.WarmAllocsPerSolve)
+	}
 }

@@ -23,40 +23,57 @@ type BenchEntry struct {
 	ParallelNodes   int     `json:"parallel_nodes"`
 	SerialSat       int     `json:"serial_satisfied"`
 	ParallelSat     int     `json:"parallel_satisfied"`
+	// Allocations per end-to-end solve (runtime.MemStats Mallocs delta
+	// around Configure), schema_version ≥ 2. Zero in older baselines.
+	SerialAllocsPerSolve   uint64 `json:"serial_allocs_per_solve,omitempty"`
+	ParallelAllocsPerSolve uint64 `json:"parallel_allocs_per_solve,omitempty"`
 }
+
+// BenchSchemaVersion is the current janusbench JSON schema:
+// v2 added schema_version itself, allocations-per-solve, and lp_micro.
+// cmd/benchdiff accepts older baselines and skips the newer gates.
+const BenchSchemaVersion = 2
 
 // Bench is the janusbench -json document, committed as BENCH.json and
 // compared by cmd/benchdiff. Hardware fields make cross-machine numbers
 // interpretable: a 1-core container cannot show wall-clock speedup no
 // matter how good the worker pool is.
 type Bench struct {
-	GeneratedBy string       `json:"generated_by"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	NumCPU      int          `json:"num_cpu"`
-	Scale       float64      `json:"scale"`
-	Seed        int64        `json:"seed"`
-	Runs        int          `json:"runs"`
-	Entries     []BenchEntry `json:"entries"`
+	SchemaVersion int           `json:"schema_version"`
+	GeneratedBy   string        `json:"generated_by"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
+	Scale         float64       `json:"scale"`
+	Seed          int64         `json:"seed"`
+	Runs          int           `json:"runs"`
+	Entries       []BenchEntry  `json:"entries"`
+	LPMicro       *LPMicroBench `json:"lp_micro,omitempty"`
 }
 
 // benchMeasure solves the fig11-shaped workload once and reports duration,
-// node count, and satisfaction.
-func benchMeasure(topoName string, spec workload.Spec, workers int, timeLimit time.Duration) (time.Duration, int, int, error) {
+// node count, satisfaction, and heap allocations during the solve (a
+// MemStats Mallocs delta — other goroutines are quiescent in janusbench,
+// so the delta is attributable to the solve).
+func benchMeasure(topoName string, spec workload.Spec, workers int, timeLimit time.Duration) (time.Duration, int, int, uint64, error) {
 	w, err := workload.Generate(topoName, spec)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	cfg := core.Config{CandidatePaths: 5, Seed: spec.Seed, Workers: workers, TimeLimit: timeLimit}
 	conf, err := core.New(w.Topo, w.Graph, cfg)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	res, err := conf.Configure(0)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
-	return time.Since(start), res.Stats.Nodes, res.SatisfiedCount(), nil
+	dur := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return dur, res.Stats.Nodes, res.SatisfiedCount(), ms1.Mallocs - ms0.Mallocs, nil
 }
 
 // RunParallelBench measures serial (Workers=1) vs parallel (Workers=workers)
@@ -69,24 +86,31 @@ func RunParallelBench(p Params, workers int) (*Bench, error) {
 		workers = 4
 	}
 	b := &Bench{
-		GeneratedBy: "janusbench -json",
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Scale:       p.Scale,
-		Seed:        p.Seed,
-		Runs:        p.Runs,
+		SchemaVersion: BenchSchemaVersion,
+		GeneratedBy:   "janusbench -json",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Scale:         p.Scale,
+		Seed:          p.Seed,
+		Runs:          p.Runs,
 	}
+	micro, err := RunLPMicro()
+	if err != nil {
+		return nil, fmt.Errorf("parbench lp micro: %w", err)
+	}
+	b.LPMicro = micro
 	policies := p.scaled(50)
 	for _, topoName := range []string{"Ans", "Cwix"} {
 		var serialDur, parDur time.Duration
 		var serialNodes, parNodes, serialSat, parSat int
+		var serialAllocs, parAllocs uint64
 		for r := 0; r < p.Runs; r++ {
 			spec := workload.Spec{Policies: policies, EndpointsPerPolicy: 2, Seed: p.Seed + int64(r)*7919}
-			sd, sn, ss, err := benchMeasure(topoName, spec, 1, p.TimeLimit)
+			sd, sn, ss, sa, err := benchMeasure(topoName, spec, 1, p.TimeLimit)
 			if err != nil {
 				return nil, fmt.Errorf("parbench %s serial: %w", topoName, err)
 			}
-			pd, pn, ps, err := benchMeasure(topoName, spec, workers, p.TimeLimit)
+			pd, pn, ps, pa, err := benchMeasure(topoName, spec, workers, p.TimeLimit)
 			if err != nil {
 				return nil, fmt.Errorf("parbench %s parallel: %w", topoName, err)
 			}
@@ -96,17 +120,21 @@ func RunParallelBench(p Params, workers int) (*Bench, error) {
 			parNodes += pn
 			serialSat += ss
 			parSat += ps
+			serialAllocs += sa
+			parAllocs += pa
 		}
 		e := BenchEntry{
-			Topology:        topoName,
-			Policies:        policies,
-			Workers:         workers,
-			SerialSeconds:   serialDur.Seconds() / float64(p.Runs),
-			ParallelSeconds: parDur.Seconds() / float64(p.Runs),
-			SerialNodes:     serialNodes / p.Runs,
-			ParallelNodes:   parNodes / p.Runs,
-			SerialSat:       serialSat / p.Runs,
-			ParallelSat:     parSat / p.Runs,
+			Topology:               topoName,
+			Policies:               policies,
+			Workers:                workers,
+			SerialSeconds:          serialDur.Seconds() / float64(p.Runs),
+			ParallelSeconds:        parDur.Seconds() / float64(p.Runs),
+			SerialNodes:            serialNodes / p.Runs,
+			ParallelNodes:          parNodes / p.Runs,
+			SerialSat:              serialSat / p.Runs,
+			ParallelSat:            parSat / p.Runs,
+			SerialAllocsPerSolve:   serialAllocs / uint64(p.Runs),
+			ParallelAllocsPerSolve: parAllocs / uint64(p.Runs),
 		}
 		if e.ParallelSeconds > 0 {
 			e.Speedup = e.SerialSeconds / e.ParallelSeconds
@@ -118,9 +146,14 @@ func RunParallelBench(p Params, workers int) (*Bench, error) {
 
 // Render formats the bench as a text table for the non-JSON output path.
 func (b *Bench) Render() Table {
+	title := fmt.Sprintf("Parallel B&B — fig11 50-policy workload, serial vs %d workers (GOMAXPROCS=%d)",
+		benchWorkers(b), b.GOMAXPROCS)
+	if b.LPMicro != nil {
+		title += fmt.Sprintf("\nLP micro (%dv×%dr): cold %.0fµs, warm %.1fµs, %.1f allocs/warm solve",
+			b.LPMicro.Vars, b.LPMicro.Rows, b.LPMicro.ColdMicros, b.LPMicro.WarmMicros, b.LPMicro.WarmAllocsPerSolve)
+	}
 	t := Table{
-		Title: fmt.Sprintf("Parallel B&B — fig11 50-policy workload, serial vs %d workers (GOMAXPROCS=%d)",
-			benchWorkers(b), b.GOMAXPROCS),
+		Title:  title,
 		Header: []string{"topology", "serial", "parallel", "speedup", "serial nodes", "par nodes"},
 	}
 	for _, e := range b.Entries {

@@ -44,6 +44,35 @@ func buildFuzzLP(seed int64, nv, nr uint8) *Problem {
 	return p
 }
 
+// TestFuzzSeedsExerciseSparsePaths pins the seed corpus additions above to
+// the code paths they exist to cover: if a tuning change (eta limits,
+// candidate-list size) stops them from reaching mid-solve refactorization
+// or the candidate-exhaustion full-scan fallback, this fails and the seeds
+// should be re-searched rather than silently degrading to ordinary
+// corpus entries.
+func TestFuzzSeedsExerciseSparsePaths(t *testing.T) {
+	refac := buildFuzzLP(2230, 8, 6)
+	sol, err := refac.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Refactorizations < 2 {
+		t.Errorf("seed 2230: status %v, %d refactorizations; want optimal with >= 2 (initial + eta-limit)",
+			sol.Status, sol.Refactorizations)
+	}
+	exhaust := buildFuzzLP(126, 8, 5)
+	sol, err = exhaust.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every solve records >= 2 switches (initial fill + optimality proof);
+	// >= 3 demonstrates a genuine mid-solve candidate-list exhaustion.
+	if sol.Status != Optimal || sol.PricingSwitches < 3 {
+		t.Errorf("seed 126: status %v, %d pricing switches; want optimal with >= 3 (mid-solve exhaustion)",
+			sol.Status, sol.PricingSwitches)
+	}
+}
+
 // FuzzLPSolve hammers the simplex with random bounded LPs and checks the
 // full optimality certificate on every Optimal result:
 //
@@ -73,6 +102,12 @@ func FuzzLPSolve(f *testing.F) {
 	f.Add(int64(42), uint8(5), uint8(1))  // single wide row
 	f.Add(int64(6241), uint8(6), uint8(4))
 	f.Add(int64(-9000), uint8(2), uint8(6))
+	// Sparse-engine path coverage (see TestFuzzSeedsExerciseSparsePaths):
+	// enough basis-change pivots to hit the eta-file limit repeatedly (≥2
+	// mid-solve refactorizations) and to exhaust the pricing candidate
+	// list mid-solve (full-scan fallback refreshes).
+	f.Add(int64(2230), uint8(8), uint8(6))
+	f.Add(int64(126), uint8(8), uint8(5))
 
 	f.Fuzz(func(t *testing.T, seed int64, nv, nr uint8) {
 		p := buildFuzzLP(seed, nv, nr)

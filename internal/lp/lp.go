@@ -6,8 +6,16 @@
 //
 // The solver maximizes c·x subject to linear constraints and variable
 // bounds. Internally every constraint row gets one logical (slack)
-// variable, the basis inverse is kept dense and updated by elementary row
-// operations per pivot, with periodic reinversion for numerical stability.
+// variable. The basis inverse is held in product form: a dense inverse
+// computed at the last refactorization plus an eta file of sparse pivot
+// updates, applied by FTRAN/BTRAN. Pricing runs over a bounded candidate
+// list refreshed by full Dantzig scans, with Bland's rule as the
+// anti-cycling fallback. All per-pivot scratch lives in a workspace owned
+// by the Problem and reused across solves, so repeated warm re-solves (the
+// branch-and-bound node pattern) run nearly allocation-free.
+//
+// A Problem must not be solved concurrently from multiple goroutines; use
+// Clone to give each solver goroutine an independent copy.
 package lp
 
 import (
@@ -71,6 +79,13 @@ type Problem struct {
 	rows  []row
 	sense []Sense
 	rhs   []float64
+
+	// version counts structural mutations (new variables or rows); the
+	// workspace rebuilds its caches when it trails the problem.
+	version uint64
+	// ws is the reusable solver workspace; nil until the first Solve and
+	// deliberately not copied by Clone.
+	ws *workspace
 }
 
 type row struct {
@@ -93,6 +108,7 @@ func (p *Problem) AddVariable(lo, up, obj float64) int {
 	p.up = append(p.up, up)
 	p.obj = append(p.obj, obj)
 	p.nStruct++
+	p.version++
 	return p.nStruct - 1
 }
 
@@ -154,7 +170,8 @@ func (p *Problem) Constraint(i int) (Sense, float64, []Term) {
 // never observe or disturb another, so branch-and-bound workers can re-solve
 // LPs with different bound fixings in parallel. A Basis snapshotted from one
 // clone warm-starts any other clone of the same problem (the variable and
-// row layouts are identical).
+// row layouts are identical). The clone starts with a fresh workspace; the
+// original's factorization and scratch buffers are never shared.
 func (p *Problem) Clone() *Problem {
 	c := &Problem{
 		nStruct: p.nStruct,
@@ -196,6 +213,7 @@ func (p *Problem) AddConstraint(sense Sense, rhs float64, terms []Term) (int, er
 	p.rows = append(p.rows, r)
 	p.sense = append(p.sense, sense)
 	p.rhs = append(p.rhs, rhs)
+	p.version++
 	return len(p.rows) - 1, nil
 }
 
@@ -214,6 +232,15 @@ type Solution struct {
 	Basis *Basis
 	// Iterations is the total simplex pivot count.
 	Iterations int
+	// Refactorizations counts basis refactorizations during the solve: the
+	// initial factorization (unless a retained one was reused), eta-file
+	// limit compactions, and numerical-recovery reinversions.
+	Refactorizations int
+	// PricingSwitches counts candidate-list exhaustions that fell back to a
+	// full Dantzig pricing scan (which also refills the list). Every solve
+	// that prices at least once records at least one — the scan that proves
+	// optimality — so values above ~2 indicate genuine mid-solve refreshes.
+	PricingSwitches int
 }
 
 // Basis is an opaque snapshot of a simplex basis, used to warm-start a
@@ -237,8 +264,6 @@ const (
 	feasTol  = 1e-7
 	costTol  = 1e-7
 	pivotTol = 1e-9
-	// reinvertEvery triggers a fresh basis inversion to contain drift.
-	reinvertEvery = 120
 	// blandAfter switches to Bland's rule after this many non-improving
 	// pivots, guaranteeing termination under degeneracy.
 	blandAfter = 400
@@ -255,22 +280,31 @@ const (
 
 // Solve optimizes the problem. The problem may be re-solved after bound or
 // objective changes; pass the previous Solution.Basis in Options.WarmStart
-// to reuse it.
+// to reuse it. Solve reuses the Problem's workspace and is therefore not
+// safe for concurrent use on one Problem — see Clone.
 func (p *Problem) Solve(opts Options) (*Solution, error) {
-	s := newSimplex(p)
+	ws := p.workspace()
+	s := &simplex{p: p, ws: ws, n: ws.n, m: ws.m}
+	s.resetBasis()
 	if opts.WarmStart != nil {
 		s.loadBasis(opts.WarmStart)
 	}
+	s.syncVarRow()
 	maxIters := opts.MaxIters
 	if maxIters <= 0 {
 		maxIters = 200*(s.m+s.n) + 20000
 	}
-	if err := s.reinvert(); err != nil {
-		// A singular warm basis is repaired by falling back to the
-		// all-logical basis.
-		s.resetBasis()
-		if err := s.reinvert(); err != nil {
-			return nil, err
+	// Reuse the retained factorization when the loaded basis is exactly the
+	// one it represents (the warm-resolve fast path); otherwise refactorize,
+	// repairing a singular warm basis by falling back to the all-logical
+	// basis.
+	if !ws.facMatchesBasis() {
+		if err := ws.refactorize(); err != nil {
+			s.resetBasis()
+			s.syncVarRow()
+			if err := ws.refactorize(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	s.computeBasics()
@@ -280,256 +314,140 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	return sol, nil
 }
 
-// simplex holds the working state of one solve.
+// simplex holds the transient state of one solve; all vectors live in the
+// Problem's reusable workspace.
 type simplex struct {
-	p *Problem
-	n int // structural count
-	m int // rows
-
-	// columns of the full matrix [A | I] indexed by variable; logical
-	// variable for row r is n+r.
-	lo, up []float64
-	obj    []float64
-
-	basic  []int  // row -> variable
-	status []int8 // variable -> status
-	binv   [][]float64
-	xB     []float64 // basic variable values
-
-	// CSC column index of the structural matrix.
-	colRows  [][]int32
-	colCoefs [][]float64
+	p  *Problem
+	ws *workspace
+	n  int // structural count
+	m  int // rows
 
 	iters      int
-	sinceReinv int
 	nonImprove int
-	lastObj    float64
-}
-
-func newSimplex(p *Problem) *simplex {
-	n, m := p.nStruct, len(p.rows)
-	s := &simplex{p: p, n: n, m: m}
-	total := n + m
-	s.lo = make([]float64, total)
-	s.up = make([]float64, total)
-	s.obj = make([]float64, total)
-	copy(s.lo, p.lo)
-	copy(s.up, p.up)
-	copy(s.obj, p.obj)
-	for r := 0; r < m; r++ {
-		v := n + r
-		switch p.sense[r] {
-		case LE:
-			s.lo[v], s.up[v] = 0, Inf
-		case GE:
-			s.lo[v], s.up[v] = math.Inf(-1), 0
-		case EQ:
-			s.lo[v], s.up[v] = 0, 0
-		}
-	}
-	s.basic = make([]int, m)
-	s.status = make([]int8, total)
-	s.buildCols()
-	s.resetBasis()
-	return s
 }
 
 // resetBasis installs the all-logical basis with structural variables at
 // their finite bound nearest zero.
 func (s *simplex) resetBasis() {
+	ws := s.ws
 	for v := 0; v < s.n+s.m; v++ {
-		s.status[v] = atLower
-		if math.IsInf(s.lo[v], -1) {
-			s.status[v] = atUpper
-			if math.IsInf(s.up[v], 1) {
+		ws.status[v] = atLower
+		if math.IsInf(ws.lo[v], -1) {
+			ws.status[v] = atUpper
+			if math.IsInf(ws.up[v], 1) {
 				// Free variable: rest at zero via lower status with value 0.
-				s.status[v] = atLower
+				ws.status[v] = atLower
 			}
 		}
 	}
 	for r := 0; r < s.m; r++ {
 		v := s.n + r
-		s.basic[r] = v
-		s.status[v] = inBasis
+		ws.basic[r] = v
+		ws.status[v] = inBasis
 	}
 }
 
+// loadBasis overlays a warm-start snapshot onto the default basis installed
+// by resetBasis, repairing out-of-range or duplicated basic entries with the
+// row's logical variable.
 func (s *simplex) loadBasis(b *Basis) {
+	ws := s.ws
 	if b == nil || b.m != s.m || b.n > s.n+s.m {
 		return // incompatible snapshot; keep default basis
 	}
-	// Start from default statuses, then overlay the snapshot. Variables
-	// added after the snapshot keep their default status.
+	// Variables added after the snapshot keep their default status.
 	for v := 0; v < b.n && v < s.n+s.m; v++ {
-		s.status[v] = b.status[v]
+		ws.status[v] = b.status[v]
 	}
-	used := make(map[int]bool, s.m)
+	mark := ws.mark // all false between uses
 	for r := 0; r < s.m; r++ {
 		v := b.basic[r]
-		if v < 0 || v >= s.n+s.m || used[v] {
+		if v < 0 || v >= s.n+s.m || mark[v] {
 			v = s.n + r // repair with the row's logical
 		}
-		used[v] = true
-		s.basic[r] = v
-		s.status[v] = inBasis
+		mark[v] = true
+		ws.basic[r] = v
+		ws.status[v] = inBasis
 	}
 	// Any variable marked basic but not in the basic list is demoted.
-	inB := make(map[int]bool, s.m)
-	for _, v := range s.basic {
-		inB[v] = true
-	}
-	for v := range s.status {
-		if s.status[v] == inBasis && !inB[v] {
-			s.status[v] = atLower
-			if math.IsInf(s.lo[v], -1) {
-				s.status[v] = atUpper
+	for v := range ws.status {
+		if ws.status[v] == inBasis && !mark[v] {
+			ws.status[v] = atLower
+			if math.IsInf(ws.lo[v], -1) {
+				ws.status[v] = atUpper
 			}
 		}
+	}
+	for r := 0; r < s.m; r++ {
+		mark[ws.basic[r]] = false
 	}
 }
 
-// buildCols constructs the CSC column index of the structural matrix.
-func (s *simplex) buildCols() {
-	s.colRows = make([][]int32, s.n)
-	s.colCoefs = make([][]float64, s.n)
-	counts := make([]int, s.n)
-	for r := range s.p.rows {
-		for _, v := range s.p.rows[r].vars {
-			counts[v]++
-		}
+// syncVarRow rebuilds the variable→basic-row index after basis loading;
+// pivots maintain it incrementally from here on.
+func (s *simplex) syncVarRow() {
+	ws := s.ws
+	for v := range ws.varRow {
+		ws.varRow[v] = -1
 	}
-	for v := 0; v < s.n; v++ {
-		s.colRows[v] = make([]int32, 0, counts[v])
-		s.colCoefs[v] = make([]float64, 0, counts[v])
+	for r, v := range ws.basic {
+		ws.varRow[v] = int32(r)
 	}
-	for r := range s.p.rows {
-		rw := &s.p.rows[r]
-		for i, v := range rw.vars {
-			s.colRows[v] = append(s.colRows[v], int32(r))
-			s.colCoefs[v] = append(s.colCoefs[v], rw.coefs[i])
-		}
-	}
-}
-
-// colEntries iterates the sparse column of variable v as (row, coef).
-func (s *simplex) colEntries(v int, f func(r int, a float64)) {
-	if v >= s.n {
-		f(v-s.n, 1)
-		return
-	}
-	rows, coefs := s.colRows[v], s.colCoefs[v]
-	for i, r := range rows {
-		f(int(r), coefs[i])
-	}
-}
-
-// reinvert rebuilds binv from the current basic set by Gauss-Jordan
-// elimination with partial pivoting. Returns errSingular when the basis
-// columns are dependent.
-func (s *simplex) reinvert() error {
-	m := s.m
-	// Build dense basis matrix B (m×m): column r is the column of basic[r].
-	B := make([][]float64, m)
-	for i := range B {
-		B[i] = make([]float64, m)
-	}
-	for r := 0; r < m; r++ {
-		v := s.basic[r]
-		s.colEntries(v, func(i int, a float64) {
-			B[i][r] = a
-		})
-	}
-	inv := make([][]float64, m)
-	for i := range inv {
-		inv[i] = make([]float64, m)
-		inv[i][i] = 1
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		piv, best := -1, pivotTol
-		for i := col; i < m; i++ {
-			if a := math.Abs(B[i][col]); a > best {
-				piv, best = i, a
-			}
-		}
-		if piv < 0 {
-			return errSingular
-		}
-		B[col], B[piv] = B[piv], B[col]
-		inv[col], inv[piv] = inv[piv], inv[col]
-		d := B[col][col]
-		for j := 0; j < m; j++ {
-			B[col][j] /= d
-			inv[col][j] /= d
-		}
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			f := B[i][col]
-			if f == 0 { //janus:allow floatcmp exact-zero sparsity guard: skips a provably no-op elimination row
-				continue
-			}
-			for j := 0; j < m; j++ {
-				B[i][j] -= f * B[col][j]
-				inv[i][j] -= f * inv[col][j]
-			}
-		}
-	}
-	s.binv = inv
-	s.sinceReinv = 0
-	return nil
 }
 
 // nonbasicValue returns the resting value of a nonbasic variable. Callers
 // only pass nonbasic variables, whose value is fully determined by their
 // bound status.
 func (s *simplex) nonbasicValue(v int) float64 {
-	if s.status[v] == atUpper {
-		return s.up[v]
+	ws := s.ws
+	if ws.status[v] == atUpper {
+		return ws.up[v]
 	}
-	if math.IsInf(s.lo[v], -1) {
+	if math.IsInf(ws.lo[v], -1) {
 		return 0 // free variable resting at zero
 	}
-	return s.lo[v]
+	return ws.lo[v]
 }
 
 // computeBasics recomputes xB = B⁻¹ (b − N x_N).
 func (s *simplex) computeBasics() {
+	ws := s.ws
 	m := s.m
-	resid := make([]float64, m)
+	resid := ws.resid
 	copy(resid, s.p.rhs)
 	for v := 0; v < s.n+s.m; v++ {
-		if s.status[v] == inBasis {
+		if ws.status[v] == inBasis {
 			continue
 		}
 		x := s.nonbasicValue(v)
 		if x == 0 { //janus:allow floatcmp exact-zero sparsity guard: a resting value of exactly 0 contributes nothing
 			continue
 		}
-		s.colEntries(v, func(r int, a float64) {
+		ws.colEntries(v, func(r int, a float64) {
 			resid[r] -= a * x
 		})
 	}
-	s.xB = make([]float64, m)
+	xB := ws.xB
 	for i := 0; i < m; i++ {
+		row := ws.binv0[i*m : i*m+m]
 		sum := 0.0
-		bi := s.binv[i]
-		for k := 0; k < m; k++ {
-			sum += bi[k] * resid[k]
+		for k, rk := range resid {
+			sum += row[k] * rk
 		}
-		s.xB[i] = sum
+		xB[i] = sum
 	}
+	ws.ftranEtas(xB)
 }
 
 // infeasibility returns the total bound violation of the basic variables.
 func (s *simplex) infeasibility() float64 {
+	ws := s.ws
 	t := 0.0
-	for i, v := range s.basic {
-		if s.xB[i] < s.lo[v]-feasTol {
-			t += s.lo[v] - s.xB[i]
-		} else if s.xB[i] > s.up[v]+feasTol {
-			t += s.xB[i] - s.up[v]
+	for i, v := range ws.basic {
+		if ws.xB[i] < ws.lo[v]-feasTol {
+			t += ws.lo[v] - ws.xB[i]
+		} else if ws.xB[i] > ws.up[v]+feasTol {
+			t += ws.xB[i] - ws.up[v]
 		}
 	}
 	return t
@@ -555,9 +473,11 @@ func (s *simplex) run(maxIters int) Status {
 			break
 		}
 	}
-	// Phase 2: optimize the real objective.
+	// Phase 2: optimize the real objective. The phase-1 candidate list was
+	// priced against a different cost vector; drop it so the first phase-2
+	// pricing refreshes against the real objective.
+	s.ws.cands = s.ws.cands[:0]
 	s.nonImprove = 0
-	s.lastObj = math.Inf(-1)
 	for {
 		if s.iters >= maxIters {
 			return IterLimit
@@ -572,103 +492,189 @@ func (s *simplex) run(maxIters int) Status {
 	}
 }
 
-// phaseCost returns the working objective for the current phase.
-// Phase 1 maximizes the negative infeasibility, whose gradient w.r.t. each
-// basic variable is +1 below its lower bound and −1 above its upper bound.
-func (s *simplex) phaseCost(phase1 bool) []float64 {
-	if !phase1 {
-		return s.obj
-	}
-	c := make([]float64, s.n+s.m)
-	for i, v := range s.basic {
-		switch {
-		case s.xB[i] < s.lo[v]-feasTol:
-			c[v] = 1
-		case s.xB[i] > s.up[v]+feasTol:
-			c[v] = -1
+// basicCosts fills the shared scratch z with the working cost of each basic
+// row for the current phase. Phase 1 maximizes the negative infeasibility,
+// whose gradient is +1 for a basic below its lower bound and −1 above its
+// upper — nonzero only on out-of-bounds basic rows, so the phase-1 cost is
+// built sparsely from the basic rows alone, never materializing a cost per
+// variable. (Nonbasic variables always have zero phase-1 cost: resting on a
+// bound, they cannot be infeasible.)
+func (s *simplex) basicCosts(phase1 bool) []float64 {
+	ws := s.ws
+	z := ws.z
+	for i, v := range ws.basic {
+		if phase1 {
+			switch {
+			case ws.xB[i] < ws.lo[v]-feasTol:
+				z[i] = 1
+			case ws.xB[i] > ws.up[v]+feasTol:
+				z[i] = -1
+			default:
+				z[i] = 0
+			}
+		} else {
+			z[i] = ws.obj[v]
 		}
 	}
-	return c
+	return z
+}
+
+// reducedCost returns d_v = c_v − y·A_v under the current phase cost
+// (phase-1 cost of any nonbasic variable is zero).
+func (s *simplex) reducedCost(phase1 bool, y []float64, v int) float64 {
+	d := 0.0
+	if !phase1 {
+		d = s.ws.obj[v]
+	}
+	if v >= s.n {
+		return d - y[v-s.n]
+	}
+	rows, coefs := s.ws.colRows[v], s.ws.colCoefs[v]
+	for k, r := range rows {
+		d -= y[r] * coefs[k]
+	}
+	return d
+}
+
+// eligible converts a reduced cost into an entering (score, direction);
+// dir 0 means the variable cannot improve the phase objective. A variable
+// resting at −∞ lower (free) may move either way.
+func (s *simplex) eligible(v int, d float64) (score, dir float64) {
+	switch s.ws.status[v] {
+	case atLower:
+		if d > costTol {
+			return d, 1
+		}
+		if math.IsInf(s.ws.lo[v], -1) && d < -costTol {
+			return -d, -1
+		}
+	case atUpper:
+		if d < -costTol {
+			return -d, -1
+		}
+	}
+	return 0, 0
+}
+
+// price selects the entering variable. Normal mode re-prices the bounded
+// candidate list (compacting out columns that became basic or unattractive)
+// and, on exhaustion, falls back to a full Dantzig scan that also refills
+// the list. Bland mode scans every column for the lowest-index eligible
+// one, preserving the anti-cycling termination guarantee.
+func (s *simplex) price(phase1, bland bool, y []float64) (enter int, dir, bestScore float64) {
+	if bland {
+		return s.priceBland(phase1, y)
+	}
+	if enter, dir, score := s.priceCandidates(phase1, y); enter >= 0 {
+		return enter, dir, score
+	}
+	s.ws.pricingSwitches++
+	return s.priceFullScan(phase1, y)
+}
+
+// priceCandidates prices only the candidate list with current reduced
+// costs, returning the best eligible column or enter = −1 on exhaustion.
+func (s *simplex) priceCandidates(phase1 bool, y []float64) (int, float64, float64) {
+	ws := s.ws
+	enter, dir, best := -1, 0.0, costTol
+	kept := 0
+	for _, cv := range ws.cands {
+		v := int(cv)
+		if ws.status[v] == inBasis {
+			continue // entered the basis since the last refresh
+		}
+		d := s.reducedCost(phase1, y, v)
+		score, dv := s.eligible(v, d)
+		if dv == 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+			continue // no longer attractive: drop from the list
+		}
+		ws.cands[kept] = cv
+		kept++
+		if score > best {
+			best, enter, dir = score, v, dv
+		}
+	}
+	ws.cands = ws.cands[:kept]
+	return enter, dir, best
+}
+
+// priceFullScan performs a full Dantzig pricing pass, returning the global
+// best column and refilling the candidate list with the highest-scoring
+// eligible columns seen (bounded, replace-min on overflow).
+func (s *simplex) priceFullScan(phase1 bool, y []float64) (int, float64, float64) {
+	ws := s.ws
+	ws.cands = ws.cands[:0]
+	ws.candScore = ws.candScore[:0]
+	limit := candListCap(s.n + s.m)
+	enter, dir, best := -1, 0.0, costTol
+	for v := 0; v < s.n+s.m; v++ {
+		if ws.status[v] == inBasis {
+			continue
+		}
+		d := s.reducedCost(phase1, y, v)
+		score, dv := s.eligible(v, d)
+		if dv == 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+			continue
+		}
+		if score > best {
+			best, enter, dir = score, v, dv
+		}
+		if len(ws.cands) < limit {
+			ws.cands = append(ws.cands, int32(v))
+			ws.candScore = append(ws.candScore, score)
+			continue
+		}
+		mi := 0
+		for k := 1; k < limit; k++ {
+			if ws.candScore[k] < ws.candScore[mi] {
+				mi = k
+			}
+		}
+		if score > ws.candScore[mi] {
+			ws.cands[mi], ws.candScore[mi] = int32(v), score
+		}
+	}
+	return enter, dir, best
+}
+
+// priceBland returns the lowest-index eligible column (Bland's rule).
+func (s *simplex) priceBland(phase1 bool, y []float64) (int, float64, float64) {
+	for v := 0; v < s.n+s.m; v++ {
+		if s.ws.status[v] == inBasis {
+			continue
+		}
+		d := s.reducedCost(phase1, y, v)
+		score, dv := s.eligible(v, d)
+		if dv != 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+			return v, dv, score
+		}
+	}
+	return -1, 0, 0
 }
 
 // pivotOnce performs one simplex iteration. It returns progressed=false
 // when no improving entering variable exists (optimality for the phase),
 // and unbounded=true when the entering direction is unbounded.
 func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
+	ws := s.ws
 	m := s.m
-	c := s.phaseCost(phase1)
 
-	// y = c_B · B⁻¹
-	y := make([]float64, m)
-	for k := 0; k < m; k++ {
-		sum := 0.0
-		for i := 0; i < m; i++ {
-			if cb := c[s.basic[i]]; cb != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost rows add nothing to y
-				sum += cb * s.binv[i][k]
-			}
-		}
-		y[k] = sum
-	}
+	// BTRAN: y = c_B · B⁻¹, with the phase cost built from basic rows only.
+	y := ws.btran(s.basicCosts(phase1))
 
 	bland := s.nonImprove >= blandAfter
-	enter, dir := -1, 0.0
-	bestScore := costTol
-	for v := 0; v < s.n+s.m; v++ {
-		st := s.status[v]
-		if st == inBasis {
-			continue
-		}
-		// Reduced cost d = c_v − y·A_v.
-		d := c[v]
-		s.colEntries(v, func(r int, a float64) {
-			d -= y[r] * a
-		})
-		var score float64
-		var dv float64
-		switch st {
-		case atLower:
-			// Increasing helps when d > 0. A variable resting at −∞ lower
-			// (free) may move either way.
-			if d > costTol {
-				score, dv = d, +1
-			} else if math.IsInf(s.lo[v], -1) && d < -costTol {
-				score, dv = -d, -1
-			}
-		case atUpper:
-			if d < -costTol {
-				score, dv = -d, -1
-			}
-		}
-		if dv == 0 { //janus:allow floatcmp dv is assigned only the exact literals 0/+1/-1 above
-			continue
-		}
-		if bland {
-			enter, dir = v, dv
-			break
-		}
-		if score > bestScore {
-			bestScore, enter, dir = score, v, dv
-		}
-	}
+	enter, dir, bestScore := s.price(phase1, bland, y)
 	if enter < 0 {
 		return false, false
 	}
 
-	// FTRAN: w = B⁻¹ A_enter.
-	w := make([]float64, m)
-	s.colEntries(enter, func(r int, a float64) {
-		if a == 0 { //janus:allow floatcmp exact-zero sparsity guard: zero column entries contribute nothing to FTRAN
-			return
-		}
-		for i := 0; i < m; i++ {
-			w[i] += s.binv[i][r] * a
-		}
-	})
+	// FTRAN: w = B⁻¹ A_enter through binv0 and the eta chain.
+	w := ws.ftranColumn(enter)
 
 	// Ratio test: entering moves by t ≥ 0 in direction dir; basic i changes
 	// by −dir·w_i·t. In phase 1, a basic beyond a bound may travel back to
 	// that bound (restoring feasibility) but not through it.
-	tMax := s.up[enter] - s.lo[enter] // bound-to-bound flip distance
+	tMax := ws.up[enter] - ws.lo[enter] // bound-to-bound flip distance
 	if math.IsInf(tMax, 1) {
 		tMax = Inf
 	}
@@ -679,8 +685,8 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 		if math.Abs(delta) < pivotTol {
 			continue
 		}
-		v := s.basic[i]
-		x := s.xB[i]
+		v := ws.basic[i]
+		x := ws.xB[i]
 		var limit float64
 		var to int8
 		if delta > 0 {
@@ -691,25 +697,25 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 			// does not sit on, teleporting its value and silently corrupting
 			// every other basic (found by FuzzLPSolve).
 			switch {
-			case x < s.lo[v]-feasTol:
-				limit, to = (s.lo[v]-x)/delta, atLower
-			case x > s.up[v]+feasTol:
+			case x < ws.lo[v]-feasTol:
+				limit, to = (ws.lo[v]-x)/delta, atLower
+			case x > ws.up[v]+feasTol:
 				continue
-			case math.IsInf(s.up[v], 1):
+			case math.IsInf(ws.up[v], 1):
 				continue
 			default:
-				limit, to = (s.up[v]-x)/delta, atUpper
+				limit, to = (ws.up[v]-x)/delta, atUpper
 			}
 		} else {
 			switch {
-			case x > s.up[v]+feasTol:
-				limit, to = (s.up[v]-x)/delta, atUpper
-			case x < s.lo[v]-feasTol:
+			case x > ws.up[v]+feasTol:
+				limit, to = (ws.up[v]-x)/delta, atUpper
+			case x < ws.lo[v]-feasTol:
 				continue
-			case math.IsInf(s.lo[v], -1):
+			case math.IsInf(ws.lo[v], -1):
 				continue
 			default:
-				limit, to = (s.lo[v]-x)/delta, atLower
+				limit, to = (ws.lo[v]-x)/delta, atLower
 			}
 		}
 		if limit < -feasTol {
@@ -731,71 +737,60 @@ func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 	enterFrom := s.nonbasicValue(enter)
 	newEnterVal := enterFrom + dir*t
 	for i := 0; i < m; i++ {
-		s.xB[i] -= dir * w[i] * t
+		ws.xB[i] -= dir * w[i] * t
 	}
 
 	if leave < 0 {
 		// Bound flip: entering moves across to its other bound; basis
 		// unchanged.
 		if dir > 0 {
-			s.status[enter] = atUpper
+			ws.status[enter] = atUpper
 		} else {
-			s.status[enter] = atLower
+			ws.status[enter] = atLower
 		}
 		s.iters++
-		s.trackProgress(phase1, t, bestScore)
+		s.trackProgress(t, bestScore)
 		return true, false
 	}
 
 	// Basis change: leave row `leave`, enter variable `enter`.
-	leavingVar := s.basic[leave]
-	s.status[leavingVar] = leaveTo
-	s.basic[leave] = enter
-	s.status[enter] = inBasis
-	s.xB[leave] = newEnterVal
+	leavingVar := ws.basic[leave]
+	ws.status[leavingVar] = leaveTo
+	ws.varRow[leavingVar] = -1
+	ws.basic[leave] = enter
+	ws.status[enter] = inBasis
+	ws.varRow[enter] = int32(leave)
+	ws.xB[leave] = newEnterVal
 
-	// Update B⁻¹ by eliminating column `enter` (pivot on w[leave]).
 	piv := w[leave]
 	if math.Abs(piv) < pivotTol {
-		// Numerically bad pivot: reinvert and retry next iteration.
-		if err := s.reinvert(); err != nil {
+		// Numerically bad pivot: refactorize from scratch rather than
+		// appending a near-singular eta, and retry next iteration.
+		if err := ws.refactorize(); err != nil {
 			s.resetBasis()
-			_ = s.reinvert()
+			s.syncVarRow()
+			_ = ws.refactorize()
 		}
 		s.computeBasics()
 		s.iters++
 		return true, false
 	}
-	br := s.binv[leave]
-	for j := 0; j < m; j++ {
-		br[j] /= piv
-	}
-	for i := 0; i < m; i++ {
-		if i == leave {
-			continue
-		}
-		f := w[i]
-		if f == 0 { //janus:allow floatcmp exact-zero sparsity guard: skips a provably no-op update row
-			continue
-		}
-		bi := s.binv[i]
-		for j := 0; j < m; j++ {
-			bi[j] -= f * br[j]
-		}
-	}
 
+	// Append the pivot to the eta file — O(nnz(w)) instead of the dense
+	// engine's O(m²) row elimination — and compact when the chain is long
+	// or filled in.
+	ws.appendEta(w, leave)
 	s.iters++
-	s.sinceReinv++
-	if s.sinceReinv >= reinvertEvery {
-		if err := s.reinvert(); err == nil {
+	if ws.etaCount() >= etaLimit(m) || ws.etaNnz() > etaFillLimit(m) {
+		if err := ws.refactorize(); err == nil {
 			s.computeBasics()
 		}
 	}
-	s.trackProgress(phase1, t, bestScore)
+	s.trackProgress(t, bestScore)
 	return true, false
 }
 
-func (s *simplex) trackProgress(phase1 bool, step, score float64) {
+func (s *simplex) trackProgress(step, score float64) {
 	improved := step*score > costTol*costTol
 	if improved {
 		s.nonImprove = 0
@@ -806,66 +801,48 @@ func (s *simplex) trackProgress(phase1 bool, step, score float64) {
 
 // objective evaluates the real objective at the current point.
 func (s *simplex) objective() float64 {
+	ws := s.ws
 	total := 0.0
 	for v := 0; v < s.n; v++ {
-		total += s.obj[v] * s.value(v)
+		if c := ws.obj[v]; c != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost terms add nothing
+			total += c * s.value(v)
+		}
 	}
 	return total
 }
 
 func (s *simplex) value(v int) float64 {
-	if s.status[v] == inBasis {
-		for i, bv := range s.basic {
-			if bv == v {
-				return s.xB[i]
-			}
-		}
-		return 0
+	if r := s.ws.varRow[v]; r >= 0 {
+		return s.ws.xB[r]
 	}
 	return s.nonbasicValue(v)
 }
 
 func (s *simplex) extract(status Status) *Solution {
-	sol := &Solution{Status: status, Iterations: s.iters}
-	sol.X = make([]float64, s.n)
-	// Map basics once for O(n+m) extraction.
-	pos := make(map[int]int, s.m)
-	for i, v := range s.basic {
-		pos[v] = i
+	ws := s.ws
+	sol := &Solution{
+		Status:           status,
+		Iterations:       s.iters,
+		Refactorizations: ws.refactorizations,
+		PricingSwitches:  ws.pricingSwitches,
 	}
+	sol.X = make([]float64, s.n)
 	for v := 0; v < s.n; v++ {
-		if i, ok := pos[v]; ok {
-			sol.X[v] = s.xB[i]
-		} else {
-			sol.X[v] = s.nonbasicValue(v)
-		}
+		sol.X[v] = s.value(v)
 	}
 	if status == Optimal {
 		sol.Objective = s.objective()
-		// Duals: y = c_B B⁻¹ with the real objective.
-		y := make([]float64, s.m)
-		for k := 0; k < s.m; k++ {
-			sum := 0.0
-			for i := 0; i < s.m; i++ {
-				if cb := s.obj[s.basic[i]]; cb != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost rows add nothing to y
-					sum += cb * s.binv[i][k]
-				}
-			}
-			y[k] = sum
-		}
-		sol.Duals = y
+		// Duals: y = c_B B⁻¹ with the real objective, via BTRAN.
+		y := ws.btran(s.basicCosts(false))
+		sol.Duals = append([]float64(nil), y...)
 		sol.ReducedCosts = make([]float64, s.n)
 		for v := 0; v < s.n; v++ {
-			d := s.obj[v]
-			s.colEntries(v, func(r int, a float64) {
-				d -= y[r] * a
-			})
-			sol.ReducedCosts[v] = d
+			sol.ReducedCosts[v] = s.reducedCost(false, y, v)
 		}
 	}
 	sol.Basis = &Basis{
-		basic:  append([]int(nil), s.basic...),
-		status: append([]int8(nil), s.status...),
+		basic:  append([]int(nil), ws.basic...),
+		status: append([]int8(nil), ws.status...),
 		n:      s.n + s.m,
 		m:      s.m,
 	}

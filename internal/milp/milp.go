@@ -112,6 +112,13 @@ type Solution struct {
 	Nodes int
 	// LPIterations accumulates simplex pivots across all node solves.
 	LPIterations int
+	// Refactorizations accumulates basis refactorizations across all node
+	// solves; warm-started nodes that reuse the retained factorization
+	// contribute zero, so low values per node indicate the warm path works.
+	Refactorizations int
+	// PricingSwitches accumulates candidate-list → full-scan pricing
+	// fallbacks across all node solves.
+	PricingSwitches int
 	// RootDuals holds the dual values of the root LP relaxation, used for
 	// sensitivity analysis (§5.6 ranks bottleneck links by shadow price).
 	RootDuals []float64
@@ -119,6 +126,13 @@ type Solution struct {
 	RootBasis *lp.Basis
 	// Workers is the number of branch-and-bound workers the solve ran with.
 	Workers int
+}
+
+// addLP folds one node LP's solver counters into the MILP totals.
+func (sol *Solution) addLP(res *lp.Solution) {
+	sol.LPIterations += res.Iterations
+	sol.Refactorizations += res.Refactorizations
+	sol.PricingSwitches += res.PricingSwitches
 }
 
 const (
@@ -208,7 +222,7 @@ func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, erro
 	if err != nil {
 		return nil, err
 	}
-	sol.LPIterations += root.Iterations
+	sol.addLP(root)
 	switch root.Status {
 	case lp.Infeasible:
 		sol.Status = Infeasible
@@ -297,7 +311,7 @@ func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, erro
 			return nil, err
 		}
 		sol.Nodes++
-		sol.LPIterations += res.Iterations
+		sol.addLP(res)
 		if res.Status == lp.Infeasible {
 			continue
 		}
@@ -378,13 +392,13 @@ func (s *Solver) RelaxAndRound(ctx context.Context) (*Solution, bool) {
 		return nil, false
 	}
 	sol := &Solution{
-		Status:       Feasible,
-		Objective:    math.Inf(-1),
-		Bound:        root.Objective,
-		RootDuals:    root.Duals,
-		RootBasis:    root.Basis,
-		LPIterations: root.Iterations,
+		Status:    Feasible,
+		Objective: math.Inf(-1),
+		Bound:     root.Objective,
+		RootDuals: root.Duals,
+		RootBasis: root.Basis,
 	}
+	sol.addLP(root)
 	if x, obj, ok := s.roundAndRepair(root.X); ok && obj > sol.Objective {
 		sol.X = append([]float64(nil), x...)
 		sol.Objective = obj

@@ -73,6 +73,8 @@ type parSearch struct {
 
 	nodes       int
 	lpIters     int
+	refacts     int
+	priceSw     int
 	incObj      float64
 	incumbent   []float64
 	lastImprove int
@@ -222,6 +224,8 @@ func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline 
 
 		ps.mu.Lock()
 		ps.lpIters += res.Iterations
+		ps.refacts += res.Refactorizations
+		ps.priceSw += res.PricingSwitches
 		if res.Status != lp.Optimal || res.Objective <= ps.incObj+pruneTol {
 			// Infeasible, an iteration limit (dropped conservatively, as in
 			// the serial dive), or dominated by the incumbent.
@@ -296,7 +300,7 @@ func (s *Solver) solveParallel(ctx context.Context, opts Options) (*Solution, er
 	if err != nil {
 		return nil, err
 	}
-	sol.LPIterations += root.Iterations
+	sol.addLP(root)
 	switch root.Status {
 	case lp.Infeasible:
 		sol.Status = Infeasible
@@ -360,6 +364,8 @@ func (s *Solver) solveParallel(ctx context.Context, opts Options) (*Solution, er
 
 	sol.Nodes = ps.nodes
 	sol.LPIterations += ps.lpIters
+	sol.Refactorizations += ps.refacts
+	sol.PricingSwitches += ps.priceSw
 
 	// Final proof bound: the incumbent, any still-open node, and any node a
 	// worker abandoned mid-solve when the search stopped.

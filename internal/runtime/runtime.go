@@ -62,6 +62,15 @@ type Metrics struct {
 	// (nodes per second of solve wall time); 0 when the solve was too
 	// fast to time meaningfully.
 	SolverNodeRate float64
+	// SolverLPIterations sums simplex pivots across installed solves.
+	SolverLPIterations int
+	// SolverRefactorizations sums LP basis refactorizations across
+	// installed solves (low relative to SolverLPIterations means eta-file
+	// updates and warm-start factorization reuse are doing their job).
+	SolverRefactorizations int
+	// SolverPricingSwitches sums candidate-list → full-scan pricing
+	// fallbacks across installed solves.
+	SolverPricingSwitches int
 }
 
 // Runtime is a live Janus instance: a configurator, its current result, and
@@ -192,6 +201,9 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 	if d := res.Stats.Duration.Seconds(); d > 0 {
 		r.metrics.SolverNodeRate = float64(res.Stats.Nodes) / d
 	}
+	r.metrics.SolverLPIterations += res.Stats.LPIterations
+	r.metrics.SolverRefactorizations += res.Stats.Refactorizations
+	r.metrics.SolverPricingSwitches += res.Stats.PricingSwitches
 	r.metrics.RulesInstalled += rep.RulesInstalled
 	r.metrics.RulesUpdated += rep.RulesUpdated
 	r.metrics.RulesRemoved += rep.RulesRemoved

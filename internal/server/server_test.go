@@ -170,6 +170,12 @@ func TestEventFlow(t *testing.T) {
 	if body["SolverNodes"].(float64) < 1 {
 		t.Errorf("SolverNodes = %v, want >= 1", body["SolverNodes"])
 	}
+	if body["SolverLPIterations"].(float64) < 1 {
+		t.Errorf("SolverLPIterations = %v, want >= 1", body["SolverLPIterations"])
+	}
+	if body["SolverRefactorizations"].(float64) < 1 {
+		t.Errorf("SolverRefactorizations = %v, want >= 1", body["SolverRefactorizations"])
+	}
 
 	// Mobility.
 	var mid topo.NodeID
