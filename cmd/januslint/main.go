@@ -3,17 +3,20 @@
 //
 //	go run ./cmd/januslint ./...
 //
-// The default suite registers eight analyzers: the syntactic checks
-// floatcmp, detrand, lockcheck, and errdrop, plus the CFG/dataflow-backed
-// mutexcopy, ctxleak, and deferloop (built on internal/analysis/cfg) and
+// The default suite registers eleven analyzers: the syntactic checks
+// floatcmp, detrand, lockcheck, and errdrop; the CFG/dataflow-backed
+// mutexcopy, ctxleak, and deferloop (built on internal/analysis/cfg);
 // layercheck, which enforces the import DAG declared in
-// internal/analysis/layers.json.
+// internal/analysis/layers.json; and the interprocedural lockorder,
+// hotalloc, and ctxleakip, which share one whole-program call graph
+// (internal/analysis/callgraph) spanning every loaded package.
 //
 // It understands plain directories and the /... recursive suffix, prints
-// file:line:col: [check] message findings (or a JSON array with -json),
-// and exits 1 when any finding survives suppression, 2 on load errors.
-// Findings are suppressed with //janus:allow <check> <reason> on the
-// offending line or the line above; see internal/analysis.
+// file:line:col: [check] message findings (or a JSON array with -json, or
+// a SARIF 2.1.0 log with -sarif for CI code-scanning upload), and exits 1
+// when any finding survives suppression, 2 on load errors. Findings are
+// suppressed with //janus:allow <check> <reason> on the offending line or
+// the line above; see internal/analysis.
 package main
 
 import (
@@ -29,8 +32,9 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: januslint [-json] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n")
+		fmt.Fprintf(os.Stderr, "usage: januslint [-json|-sarif] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,12 +74,18 @@ func main() {
 	}
 
 	analyzers := analysis.Default()
-	var diags []analysis.Diagnostic
-	for _, p := range pkgs {
-		diags = append(diags, analysis.Run(p, analyzers)...)
-	}
+	diags := analysis.RunAll(pkgs, analyzers)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		log, err := analysis.SARIF(analyzers, diags, loader.ModuleRoot())
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(append(log, '\n')); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -84,7 +94,7 @@ func main() {
 		if err := enc.Encode(diags); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		cwd, _ := os.Getwd()
 		for _, d := range diags {
 			if cwd != "" {
@@ -96,7 +106,7 @@ func main() {
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "januslint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)

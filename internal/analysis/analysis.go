@@ -46,7 +46,14 @@ type Analyzer struct {
 	// Paths, when non-empty, restricts the analyzer to packages whose
 	// import path contains one of these substrings.
 	Paths []string
-	Run   func(*Pass)
+	// Prepare, when set, is called once with the full package set before
+	// any Run. Interprocedural analyzers use it to see the whole program
+	// (build the call graph, compute global summaries) while Run stays
+	// per-package: it emits only the findings anchored in that package.
+	// Prepare always receives every loaded package, ignoring Paths — a
+	// scoped analyzer may still need edges through unscoped packages.
+	Prepare func([]*Package)
+	Run     func(*Pass)
 }
 
 func (a *Analyzer) applies(pkgPath string) bool {
@@ -82,11 +89,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Default returns the standard januslint analyzer suite with its
 // production scoping: floatcmp guards the numerically delicate solver
-// packages, detrand guards all non-test internal code, ctxleak guards the
-// long-lived server/runtime/dataplane layers where a leaked goroutine
-// survives for the life of the controller, and the rest — lockcheck,
-// errdrop, and the CFG-backed mutexcopy/deferloop/layercheck — run
-// everywhere (layercheck self-scopes to the packages layers.json names).
+// packages, detrand guards all non-test internal code, ctxleak and its
+// interprocedural upgrade ctxleakip guard the long-lived
+// server/runtime/dataplane layers where a leaked goroutine survives for
+// the life of the controller, lockorder guards the layers that mix locks
+// with channels and worker pools, and the rest — lockcheck, errdrop,
+// hotalloc, and the CFG-backed mutexcopy/deferloop/layercheck — run
+// everywhere (layercheck self-scopes to the packages layers.json names,
+// hotalloc to the closure of //janus:hotpath roots).
+//
+// The three interprocedural analyzers (lockorder, hotalloc, ctxleakip)
+// share one whole-program call graph, built once per RunAll.
 func Default() []*Analyzer {
 	fc := FloatCmp()
 	fc.Paths = []string{"internal/lp", "internal/milp", "internal/core"}
@@ -94,33 +107,56 @@ func Default() []*Analyzer {
 	dr.Paths = []string{"internal/"}
 	cl := CtxLeak()
 	cl.Paths = []string{"internal/server", "internal/runtime", "internal/dataplane"}
+	ip := &interp{}
+	lo := lockOrderWith(ip)
+	lo.Paths = []string{"internal/runtime", "internal/server", "internal/dataplane", "internal/milp"}
+	clip := ctxLeakIPWith(ip)
+	clip.Paths = cl.Paths
 	return []*Analyzer{
 		fc, dr, LockCheck(), ErrDrop(),
 		MutexCopy(), cl, DeferLoop(), LayerCheck(),
+		lo, hotAllocWith(ip), clip,
 	}
 }
 
-// Run applies the analyzers to the package, drops suppressed findings, and
-// returns the rest sorted by position. Malformed //janus:allow comments
-// (missing reason, unknown check name) are reported under the "allow"
-// check.
+// Run applies the analyzers to one package; it is RunAll over a singleton
+// program, so interprocedural analyzers see just that package.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunAll applies the analyzers to the whole program at once: each
+// analyzer's Prepare sees every package (so call graphs span the full
+// load), then per-package passes run for the packages the analyzer's Paths
+// accept. Suppressed findings are dropped and the rest return sorted by
+// position. Malformed //janus:allow comments (missing reason, unknown
+// check name) are reported under the "allow" check.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{"allow": true}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	allows, out := collectAllows(pkg, known)
 	for _, a := range analyzers {
-		if !a.applies(pkg.Path) {
-			continue
+		if a.Prepare != nil {
+			a.Prepare(pkgs)
 		}
-		pass := &Pass{Analyzer: a, Pkg: pkg}
-		a.Run(pass)
-		for _, d := range pass.diags {
-			if allows.suppressed(d) {
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, diags := collectAllows(pkg, known)
+		out = append(out, diags...)
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
 				continue
 			}
-			out = append(out, d)
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allows.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -93,6 +93,10 @@ func TestMutexCopyFixture(t *testing.T) { checkFixture(t, "mutexcopy", MutexCopy
 func TestCtxLeakFixture(t *testing.T)   { checkFixture(t, "ctxleak", CtxLeak()) }
 func TestDeferLoopFixture(t *testing.T) { checkFixture(t, "deferloop", DeferLoop()) }
 
+func TestLockOrderFixture(t *testing.T) { checkFixture(t, "lockorder", LockOrder()) }
+func TestHotAllocFixture(t *testing.T)  { checkFixture(t, "hotalloc", HotAlloc()) }
+func TestCtxLeakIPFixture(t *testing.T) { checkFixture(t, "ctxleakip", CtxLeakIP()) }
+
 // layercheckFixtureRules layers the fixture tree the way layers.json layers
 // production code: lp is the bottom solver layer (imports nothing), server
 // sits on top of core, and stray is deliberately unlayered.
@@ -162,6 +166,15 @@ func TestGolden(t *testing.T) {
 		{"layercheck", func(t *testing.T) []Diagnostic {
 			_, diags := layercheckFixtureDiags(t)
 			return diags
+		}},
+		{"lockorder", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "lockorder"), []*Analyzer{LockOrder()})
+		}},
+		{"hotalloc", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "hotalloc"), []*Analyzer{HotAlloc()})
+		}},
+		{"ctxleakip", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "ctxleakip"), []*Analyzer{CtxLeakIP()})
 		}},
 	}
 	for _, tc := range cases {
@@ -259,9 +272,10 @@ func TestLoadTree(t *testing.T) {
 		names = append(names, p.Types.Name())
 	}
 	want := []string{
-		"allowform", "ctxleak", "deferloop", "detrand", "errdrop", "floatcmp",
+		"allowform", "ctxleak", "ctxleakip", "deferloop", "detrand", "errdrop",
+		"floatcmp", "hotalloc",
 		"core", "lp", "server", "stray", // layercheck/* in import-path order
-		"lockcheck", "mutexcopy",
+		"lockcheck", "lockorder", "mutexcopy",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("LoadTree packages = %v, want %v", names, want)
@@ -274,8 +288,8 @@ func TestLoadTree(t *testing.T) {
 // checks everywhere.
 func TestDefaultScoping(t *testing.T) {
 	suite := Default()
-	if len(suite) != 8 {
-		t.Fatalf("Default() has %d analyzers, want 8", len(suite))
+	if len(suite) != 11 {
+		t.Fatalf("Default() has %d analyzers, want 11", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -305,7 +319,21 @@ func TestDefaultScoping(t *testing.T) {
 			if !a.applies("janus/internal/server") || !a.applies("janus/internal/runtime") {
 				t.Error("ctxleak should apply to internal/server and internal/runtime")
 			}
-		case "lockcheck", "errdrop", "mutexcopy", "deferloop", "layercheck":
+		case "ctxleakip":
+			if a.applies("janus/internal/lp") {
+				t.Error("ctxleakip should not apply to internal/lp")
+			}
+			if !a.applies("janus/internal/server") || !a.applies("janus/internal/dataplane") {
+				t.Error("ctxleakip should apply to internal/server and internal/dataplane")
+			}
+		case "lockorder":
+			if a.applies("janus/internal/lp") {
+				t.Error("lockorder should not apply to internal/lp")
+			}
+			if !a.applies("janus/internal/milp") || !a.applies("janus/internal/runtime") {
+				t.Error("lockorder should apply to internal/milp and internal/runtime")
+			}
+		case "lockcheck", "errdrop", "mutexcopy", "deferloop", "layercheck", "hotalloc":
 			if !a.applies("janus/cmd/janus") || !a.applies("janus/internal/server") {
 				t.Errorf("%s should apply everywhere", a.Name)
 			}
@@ -356,5 +384,46 @@ func TestLoadLayerRules(t *testing.T) {
 	}
 	if _, err := LoadLayerRules(filepath.Join(dir, "absent.json")); err == nil {
 		t.Error("LoadLayerRules on a missing file should fail")
+	}
+
+	// Entries for packages that no longer exist on disk must be rejected:
+	// build a miniature module with one real package and point rule files
+	// at it.
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(mod, "a"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "a", "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(mod, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(mod, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", `{"module":"m","layers":[{"name":"a","packages":["m/a"]}]}`)
+	if _, err := LoadLayerRules(good); err != nil {
+		t.Errorf("rules naming an existing package must load: %v", err)
+	}
+	ghost := write("ghost.json", `{"module":"m","layers":[{"name":"a","packages":["m/a"]},{"name":"b","packages":["m/gone"]}]}`)
+	if _, err := LoadLayerRules(ghost); err == nil {
+		t.Error("rules naming a package with no directory on disk should fail")
+	}
+	hollow := write("hollow.json", `{"module":"m","layers":[{"name":"a","packages":["m/empty"]}]}`)
+	if _, err := LoadLayerRules(hollow); err == nil {
+		t.Error("rules naming a directory with no Go files should fail")
+	}
+	foreign := write("foreign.json", `{"module":"other","layers":[{"name":"a","packages":["other/ghost"]}]}`)
+	if _, err := LoadLayerRules(foreign); err != nil {
+		t.Errorf("existence check must be skipped for rules describing another module: %v", err)
 	}
 }

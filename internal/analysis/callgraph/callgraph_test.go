@@ -1,0 +1,347 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+type source struct{ path, src string }
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, nil
+}
+
+// buildUnits type-checks the sources in order (later packages may import
+// earlier ones) and returns the units ready for Build.
+func buildUnits(t *testing.T, srcs ...source) (*token.FileSet, []*Unit) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	var units []*Unit
+	for _, s := range srcs {
+		f, err := parser.ParseFile(fset, s.path+".go", s.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", s.path, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(s.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", s.path, err)
+		}
+		imp[s.path] = pkg
+		units = append(units, &Unit{Pkg: pkg, Info: info, Files: []*ast.File{f}})
+	}
+	return fset, units
+}
+
+// nodeByName finds a node whose String contains name.
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if strings.Contains(n.String(), name) {
+			return n
+		}
+	}
+	t.Fatalf("no node matching %q", name)
+	return nil
+}
+
+func calleeNames(n *Node, kinds ...Kind) []string {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []string
+	for _, e := range n.Out {
+		if len(kinds) == 0 || want[e.Kind] {
+			out = append(out, e.Callee.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestStaticCallsAndReachability(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func a() { b() }
+func b() { c() }
+func c() {}
+func d() { c() }
+`})
+	g := Build(fset, units)
+	a := nodeByName(t, g, "p.a")
+	if got := calleeNames(a); len(got) != 1 || got[0] != "p.b" {
+		t.Fatalf("a's callees = %v, want [p.b]", got)
+	}
+	reach := g.Reachable([]*Node{a}, nil)
+	for _, want := range []string{"p.a", "p.b", "p.c"} {
+		if !reach[nodeByName(t, g, want)] {
+			t.Errorf("%s not reachable from a", want)
+		}
+	}
+	if reach[nodeByName(t, g, "p.d")] {
+		t.Errorf("d should not be reachable from a")
+	}
+}
+
+func TestInterfaceDispatchCHA(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+type I interface{ M() }
+type T struct{}
+func (T) M() {}
+type U struct{}
+func (*U) M() {}
+type other struct{}
+func (other) N() {}
+func call(i I) { i.M() }
+`})
+	g := Build(fset, units)
+	call := nodeByName(t, g, "p.call")
+	got := calleeNames(call, Interface)
+	want := []string{"(*p.U).M", "(p.I).M", "(p.T).M"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("interface callees = %v, want %v", got, want)
+	}
+}
+
+func TestClosureAndIndirectCall(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func h() {}
+func f() {
+	g := func() { h() }
+	g()
+}
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "p.f")
+	var closure, indirect bool
+	for _, e := range f.Out {
+		if e.Callee.Lit != nil && e.Kind == Closure && e.Call == nil {
+			closure = true
+		}
+		if e.Callee.Lit != nil && e.Kind == Reference && e.Call != nil {
+			indirect = true
+		}
+	}
+	if !closure {
+		t.Errorf("missing Closure creation edge f -> literal")
+	}
+	if !indirect {
+		t.Errorf("missing indirect invocation edge f -> literal (signature-matched)")
+	}
+	if !g.Reachable([]*Node{f}, nil)[nodeByName(t, g, "p.h")] {
+		t.Errorf("h not reachable from f through the closure")
+	}
+}
+
+func TestImmediatelyInvokedLiteral(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func h() {}
+func f() { func() { h() }() }
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "p.f")
+	if len(f.Out) != 1 || f.Out[0].Kind != Static || f.Out[0].Call == nil {
+		t.Fatalf("want exactly one Static invocation edge to the literal, got %v", f.Out)
+	}
+}
+
+func TestGoAndDeferKinds(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func h() {}
+func f() {
+	go h()
+	defer h()
+}
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "p.f")
+	kinds := map[Kind]bool{}
+	for _, e := range f.Out {
+		kinds[e.Kind] = true
+	}
+	if !kinds[Go] || !kinds[Defer] {
+		t.Fatalf("want Go and Defer edges, got %v", f.Out)
+	}
+}
+
+func TestMethodValueReference(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+type S struct{}
+func (S) M() {}
+func use(fn func()) { fn() }
+func f(s S) { use(s.M) }
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "p.f")
+	foundRef := false
+	for _, e := range f.Out {
+		if e.Kind == Reference && e.Call == nil && e.Callee.String() == "(p.S).M" {
+			foundRef = true
+		}
+	}
+	if !foundRef {
+		t.Fatalf("want Reference edge f -> (p.S).M, got %v", calleeNames(f))
+	}
+	// The indirect call inside use must be wired to the taken method.
+	use := nodeByName(t, g, "p.use")
+	if !g.Reachable([]*Node{use}, nil)[nodeByName(t, g, "(p.S).M")] {
+		t.Errorf("S.M not reachable from use through the func value")
+	}
+}
+
+func TestGenericCallResolvesToOrigin(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func id[T any](x T) T { return x }
+func f() { _ = id[int](1); _ = id("s") }
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "p.f")
+	targets := map[*Node]bool{}
+	for _, e := range f.Out {
+		if e.Kind == Static {
+			targets[e.Callee] = true
+		}
+	}
+	id := nodeByName(t, g, "p.id")
+	if len(targets) != 1 || !targets[id] {
+		t.Fatalf("generic calls = %v, want both edges on p.id's origin node", calleeNames(f, Static))
+	}
+}
+
+func TestCrossPackageDispatch(t *testing.T) {
+	fset, units := buildUnits(t,
+		source{"a", `package a
+type I interface{ M() }
+type Impl struct{}
+func (Impl) M() {}
+func Helper() {}
+`},
+		source{"b", `package b
+import "a"
+func f(i a.I) {
+	a.Helper()
+	i.M()
+}
+`})
+	g := Build(fset, units)
+	f := nodeByName(t, g, "b.f")
+	static := calleeNames(f, Static)
+	if len(static) != 1 || static[0] != "a.Helper" {
+		t.Fatalf("static cross-package callees = %v", static)
+	}
+	iface := calleeNames(f, Interface)
+	want := []string{"(a.I).M", "(a.Impl).M"}
+	if strings.Join(iface, ",") != strings.Join(want, ",") {
+		t.Fatalf("cross-package interface callees = %v, want %v", iface, want)
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func a() { b() }
+func b() { a(); c() }
+func c() {}
+`})
+	g := Build(fset, units)
+	comps := g.SCCs()
+	pos := map[*Node]int{}
+	for i, comp := range comps {
+		for _, n := range comp {
+			pos[n] = i
+		}
+	}
+	a, b, c := nodeByName(t, g, "p.a"), nodeByName(t, g, "p.b"), nodeByName(t, g, "p.c")
+	if pos[a] != pos[b] {
+		t.Fatalf("a and b are mutually recursive, want same SCC")
+	}
+	if pos[c] >= pos[a] {
+		t.Fatalf("callee c must come before the a/b component (bottom-up)")
+	}
+}
+
+func TestPropagateSummaries(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func a() { b() }
+func b() { a(); c() }
+func c() {}
+func top() { a() }
+`})
+	g := Build(fset, units)
+	// Summary: the set of function names transitively invoked.
+	sum := Propagate(g,
+		func(n *Node) map[string]bool { return map[string]bool{n.String(): true} },
+		func(s map[string]bool, e *Edge, callee map[string]bool) map[string]bool {
+			if e.Call == nil {
+				return s
+			}
+			merged := s
+			copied := false
+			for k := range callee {
+				if !merged[k] {
+					if !copied {
+						m := make(map[string]bool, len(merged)+len(callee))
+						for k2 := range merged {
+							m[k2] = true
+						}
+						merged, copied = m, true
+					}
+					merged[k] = true
+				}
+			}
+			return merged
+		},
+		func(x, y map[string]bool) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+	)
+	top := sum[nodeByName(t, g, "p.top")]
+	for _, want := range []string{"p.top", "p.a", "p.b", "p.c"} {
+		if !top[want] {
+			t.Errorf("top's summary missing %s: %v", want, top)
+		}
+	}
+}
+
+func TestCalleesAt(t *testing.T) {
+	fset, units := buildUnits(t, source{"p", `package p
+func h() {}
+func f() { h() }
+`})
+	g := Build(fset, units)
+	var call *ast.CallExpr
+	ast.Inspect(units[0].Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	cs := g.CalleesAt(call)
+	if len(cs) != 1 || cs[0].String() != "p.h" {
+		t.Fatalf("CalleesAt = %v, want [p.h]", cs)
+	}
+}

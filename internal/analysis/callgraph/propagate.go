@@ -1,0 +1,124 @@
+package callgraph
+
+// Reachable returns the closure of roots over edges accepted by keep (nil
+// keeps every edge kind). The result includes the roots themselves.
+func (g *Graph) Reachable(roots []*Node, keep func(*Edge) bool) map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := make([]*Node, 0, len(roots))
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if keep != nil && !keep(e) {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan) in
+// bottom-up order: every component appears after each component it has an
+// edge into, so callees come before callers — the order summary
+// propagation wants.
+func (g *Graph) SCCs() [][]*Node {
+	type state struct {
+		index, low int
+		onStack    bool
+	}
+	states := make(map[*Node]*state, len(g.Nodes))
+	var stack []*Node
+	var comps [][]*Node
+	next := 0
+
+	var strongconnect func(n *Node)
+	strongconnect = func(n *Node) {
+		st := &state{index: next, low: next}
+		next++
+		states[n] = st
+		stack = append(stack, n)
+		st.onStack = true
+
+		for _, e := range n.Out {
+			w := e.Callee
+			ws, ok := states[w]
+			switch {
+			case !ok:
+				strongconnect(w)
+				if l := states[w].low; l < st.low {
+					st.low = l
+				}
+			case ws.onStack:
+				if ws.index < st.low {
+					st.low = ws.index
+				}
+			}
+		}
+
+		if st.low == st.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == n {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if _, ok := states[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return comps
+}
+
+// Propagate computes one summary per node, bottom-up over the condensation
+// of the graph. Each node starts at base(n); then, walking components in
+// callees-first order, the summary absorbs every out-edge via
+// s = merge(s, e, summary[e.Callee]) until the component stabilizes. merge
+// must be monotone (only grow s) and must not mutate its arguments, the
+// same contract as cfg.Analysis — cyclic call chains converge for exactly
+// the reason cfg.Fixpoint does. merge typically filters on e.Kind and
+// e.Call to decide which edges carry its fact across frames.
+func Propagate[S any](g *Graph, base func(*Node) S, merge func(s S, e *Edge, callee S) S, equal func(a, b S) bool) map[*Node]S {
+	sum := make(map[*Node]S, len(g.Nodes))
+	for _, comp := range g.SCCs() {
+		for _, n := range comp {
+			sum[n] = base(n)
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				s := sum[n]
+				for _, e := range n.Out {
+					callee, ok := sum[e.Callee]
+					if !ok {
+						continue
+					}
+					s = merge(s, e, callee)
+				}
+				if !equal(s, sum[n]) {
+					sum[n] = s
+					changed = true
+				}
+			}
+		}
+	}
+	return sum
+}

@@ -334,3 +334,196 @@ func TestStringDump(t *testing.T) {
 		t.Errorf("dump missing entry/exit: %q", s)
 	}
 }
+
+// buildCFGSrc parses a complete file and builds the CFG of its first
+// function declaration — needed for signatures buildCFG's fixed wrapper
+// cannot express, like generic functions.
+func buildCFGSrc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// TestLabeledContinueAcrossNestedLoops checks that `continue outer` from
+// the inner loop targets the outer loop's post block (not the inner head)
+// and that `break outer` targets the outer join (not the inner one).
+func TestLabeledContinueAcrossNestedLoops(t *testing.T) {
+	g := buildCFG(t, "outer:\nfor i := 0; i < n; i++ {\nfor {\nif c {\ncontinue outer\n}\nif d {\nbreak outer\n}\nwork()\n}\n}\nafter()")
+	post := one(t, g, "for.post") // only the outer loop has a post statement
+	heads := byLabel(g, "for.head")
+	joins := byLabel(g, "for.join")
+	if len(heads) != 2 || len(joins) != 2 {
+		t.Fatalf("for.head/for.join = %d/%d, want 2/2\n%s", len(heads), len(joins), g)
+	}
+	outerHead, innerHead := heads[0], heads[1]
+	outerJoin, innerJoin := joins[0], joins[1]
+
+	// continue outer must land on the outer post, bypassing the inner head.
+	contFrom := 0
+	for _, p := range post.Preds {
+		if p.Label == "if.then" {
+			contFrom++
+			if hasEdge(p, innerHead) {
+				t.Errorf("continue outer must not edge to the inner head\n%s", g)
+			}
+		}
+	}
+	if contFrom != 1 {
+		t.Errorf("outer post should have exactly one if.then pred (the continue), got %d\n%s", contFrom, g)
+	}
+	wantEdge(t, g, post, outerHead)
+
+	// break outer reaches the outer join; the inner join is unreachable
+	// (the inner loop has no condition and no plain break).
+	breakFrom := 0
+	for _, p := range outerJoin.Preds {
+		if p.Label == "if.then" {
+			breakFrom++
+		}
+	}
+	if breakFrom != 1 {
+		t.Errorf("outer join should have exactly one if.then pred (the break), got %d\n%s", breakFrom, g)
+	}
+	if len(innerJoin.Preds) != 0 {
+		t.Errorf("inner join should be unreachable, has %d preds\n%s", len(innerJoin.Preds), g)
+	}
+
+	// Loop membership: both heads are loop blocks, the joins are not.
+	loops := g.LoopBlocks()
+	if !loops[outerHead] || !loops[innerHead] {
+		t.Errorf("both loop heads must be loop blocks\n%s", g)
+	}
+	if loops[outerJoin] {
+		t.Errorf("outer join must stay outside the loop\n%s", g)
+	}
+}
+
+// TestGotoOverDeclaration jumps forward over a variable declaration: the
+// skipped statements form an unreachable block and the label block is
+// entered straight from the goto.
+func TestGotoOverDeclaration(t *testing.T) {
+	g := buildCFG(t, "a()\ngoto skip\nvar x = f()\nuse(x)\nskip:\nc()")
+	lbl := one(t, g, "label.skip")
+	wantEdge(t, g, g.Entry, lbl)
+	// The declaration lives in a block with no predecessors but still
+	// falls through into the label, so its nodes remain in the graph.
+	var declBlock *Block
+	for _, b := range g.Blocks {
+		if b == g.Entry || b == g.Exit || b == lbl {
+			continue
+		}
+		if len(b.Nodes) > 0 {
+			declBlock = b
+		}
+	}
+	if declBlock == nil {
+		t.Fatalf("skipped declaration block missing\n%s", g)
+	}
+	if len(declBlock.Preds) != 0 {
+		t.Errorf("skipped declaration block should be unreachable, has %d preds\n%s", len(declBlock.Preds), g)
+	}
+	wantEdge(t, g, declBlock, lbl)
+}
+
+// TestGotoBackwardLoop checks that a backward goto forms a proper loop:
+// the goto edge is recognized as a back edge and the label block becomes a
+// loop block.
+func TestGotoBackwardLoop(t *testing.T) {
+	g := buildCFG(t, "top:\nwork()\nif c {\ngoto top\n}\ndone()")
+	lbl := one(t, g, "label.top")
+	then := one(t, g, "if.then")
+	wantEdge(t, g, then, lbl)
+	back := g.BackEdges()
+	found := false
+	for _, e := range back {
+		if e[0] == then && e[1] == lbl {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("goto top should register as a back edge, got %v\n%s", back, g)
+	}
+	loops := g.LoopBlocks()
+	if !loops[lbl] || !loops[then] {
+		t.Errorf("label and goto blocks must be loop blocks\n%s", g)
+	}
+	if loops[g.Entry] {
+		t.Errorf("entry must stay outside the goto loop\n%s", g)
+	}
+}
+
+// TestGotoIntoBranch jumps from one arm of an if into a label in the
+// fallthrough code — the join keeps both the structured and the goto
+// predecessor.
+func TestGotoIntoBranch(t *testing.T) {
+	g := buildCFG(t, "if c {\ngoto done\n}\nb()\ndone:\nc()")
+	lbl := one(t, g, "label.done")
+	then := one(t, g, "if.then")
+	wantEdge(t, g, then, lbl)
+	if len(lbl.Preds) < 2 {
+		t.Errorf("label.done needs both the goto and the fallthrough pred, got %d\n%s", len(lbl.Preds), g)
+	}
+}
+
+// TestGenericFunctionBody builds the CFG of a type-parameterized function:
+// type parameters live in the signature, so the body must produce the same
+// range-loop shape as a monomorphic function.
+func TestGenericFunctionBody(t *testing.T) {
+	g := buildCFGSrc(t, `package p
+
+func Map[T any, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+`)
+	head, body, join := one(t, g, "range.head"), one(t, g, "range.body"), one(t, g, "range.join")
+	wantEdge(t, g, head, body)
+	wantEdge(t, g, head, join)
+	wantEdge(t, g, body, head)
+	back := g.BackEdges()
+	if len(back) != 1 || back[0][0] != body || back[0][1] != head {
+		t.Errorf("back edges = %v, want exactly body -> head\n%s", back, g)
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Errorf("return must reach exit\n%s", g)
+	}
+}
+
+// TestGenericSwitchBody: a generic function whose body is a type switch on
+// a type-parameter value boxed in any — each case becomes a switch.case
+// block exactly as in monomorphic code.
+func TestGenericSwitchBody(t *testing.T) {
+	g := buildCFGSrc(t, `package p
+
+func Kind[T any](v T) string {
+	switch any(v).(type) {
+	case int:
+		return "int"
+	case string:
+		return "string"
+	default:
+		return "other"
+	}
+}
+`)
+	cases := byLabel(g, "switch.case")
+	if len(cases) != 2 {
+		t.Fatalf("switch.case blocks = %d, want 2\n%s", len(cases), g)
+	}
+	cases = append(cases, one(t, g, "switch.default"))
+	for _, c := range cases {
+		if !hasEdge(c, g.Exit) {
+			t.Errorf("every case returns, so each must edge to exit\n%s", g)
+		}
+	}
+	if len(g.LoopBlocks()) != 0 {
+		t.Errorf("acyclic generic body reported loop blocks\n%s", g)
+	}
+}

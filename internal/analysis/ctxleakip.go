@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"janus/internal/analysis/callgraph"
+)
+
+// CtxLeakIP returns the ctxleakip analyzer, the interprocedural upgrade of
+// ctxleak: where ctxleak inspects only the goroutine's immediate body,
+// ctxleakip follows the body through the call graph, so a goroutine
+// launched through a wrapper — `go s.run()` where run calls a helper that
+// blocks on a channel — is no longer invisible.
+//
+// For each go statement it resolves the launched function's call-graph
+// closure (static calls, interface dispatch, closures, and function
+// values; nested go statements are separate goroutines and excluded). The
+// goroutine is cancellable if any function in that closure references a
+// context.Context or a done-style chan struct{}; it can leak if any
+// function reachable through actual invocation edges contains a channel
+// operation that may block forever. Sites the intraprocedural ctxleak
+// already reports are skipped, so running both analyzers never
+// double-reports.
+//
+// In Default() the check is scoped like ctxleak: internal/server,
+// internal/runtime, internal/dataplane.
+func CtxLeakIP() *Analyzer { return ctxLeakIPWith(&interp{}) }
+
+func ctxLeakIPWith(ip *interp) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxleakip",
+		Doc:  "flags goroutines whose call-graph closure can block forever with no cancellation signal",
+	}
+	a.Prepare = ip.prepare
+	a.Run = bucketed(ip, computeCtxLeakIP)
+	return a
+}
+
+func computeCtxLeakIP(g *callgraph.Graph, pkgs []*Package) map[*types.Package][]finding {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	fset := pkgs[0].Fset
+	byPkg := map[*types.Package][]finding{}
+
+	cancelKeep := func(e *callgraph.Edge) bool { return e.Kind != callgraph.Go }
+	blockKeep := func(e *callgraph.Edge) bool { return e.Call != nil && e.Kind != callgraph.Go }
+
+	for _, p := range pkgs {
+		info := p.Info
+		decls := map[*types.Func]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+						decls[fn] = fd
+					}
+				}
+			}
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				// Skip what intraprocedural ctxleak already reports.
+				if body := goroutineBody(info, gs, decls); body != nil &&
+					!hasCancelSignal(info, body) && firstBlockingOp(info, body) != nil {
+					return true
+				}
+				launched := g.CalleesAt(gs.Call)
+				if len(launched) == 0 {
+					return true
+				}
+				// A ctx or done channel threaded through the go call's own
+				// arguments governs the goroutine even if no closure body
+				// names it.
+				if callHasCancelArg(info, gs.Call) {
+					return true
+				}
+				cancellable := false
+				for cn := range g.Reachable(launched, cancelKeep) {
+					if cn.Body() != nil && cn.Unit != nil && hasCancelSignal(cn.Unit.Info, cn.Body()) {
+						cancellable = true
+						break
+					}
+				}
+				if cancellable {
+					return true
+				}
+				for _, bn := range sortedNodes(g, g.Reachable(launched, blockKeep)) {
+					if bn.Body() == nil || bn.Unit == nil {
+						continue
+					}
+					if op := firstBlockingOp(bn.Unit.Info, bn.Body()); op != nil {
+						byPkg[p.Types] = append(byPkg[p.Types], finding{
+							pos: gs.Pos(),
+							msg: "goroutine can block forever (" + blockingOpDesc(op) + " in " + friendlyName(fset, bn) +
+								") with no context.Context or done channel reaching its call closure: plumb a ctx and select on ctx.Done(), or annotate //janus:allow ctxleakip <reason>",
+						})
+						return true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return byPkg
+}
+
+// callHasCancelArg reports whether the go call's arguments (or receiver
+// chain) mention a context or done channel.
+func callHasCancelArg(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if isContextType(obj.Type()) || (isDoneChan(obj.Type()) && isDoneName(id.Name)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sortedNodes orders a node set by graph creation order, for
+// deterministic reporting.
+func sortedNodes(g *callgraph.Graph, set map[*callgraph.Node]bool) []*callgraph.Node {
+	var out []*callgraph.Node
+	for _, n := range g.Nodes {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

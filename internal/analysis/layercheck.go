@@ -64,7 +64,51 @@ func LoadLayerRules(path string) (*LayerRules, error) {
 			}
 		}
 	}
+	if err := r.checkPackagesExist(path); err != nil {
+		return nil, err
+	}
 	return &r, nil
+}
+
+// checkPackagesExist rejects layer entries naming packages that no longer
+// exist on disk, so layers.json cannot drift as packages are renamed or
+// deleted. The module root is located by walking up from the rules file;
+// when the file lives outside its module (fixture files in a temp dir, a
+// rules file for some other module) the check is skipped — existence can
+// only be judged against the module tree the rules describe.
+func (r *LayerRules) checkPackagesExist(path string) error {
+	root, mod, err := findModule(filepath.Dir(path))
+	if err != nil || mod != r.Module {
+		return nil
+	}
+	for _, l := range r.Layers {
+		for _, p := range l.Packages {
+			rel, ok := strings.CutPrefix(p, r.Module+"/")
+			if !ok {
+				if p == r.Module {
+					rel = "."
+				} else {
+					return fmt.Errorf("layercheck: %s: layer %q names package %q outside module %q", path, l.Name, p, r.Module)
+				}
+			}
+			dir := filepath.Join(root, filepath.FromSlash(rel))
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return fmt.Errorf("layercheck: %s: layer %q names package %q but %s does not exist", path, l.Name, p, dir)
+			}
+			hasGo := false
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					hasGo = true
+					break
+				}
+			}
+			if !hasGo {
+				return fmt.Errorf("layercheck: %s: layer %q names package %q but %s contains no Go files", path, l.Name, p, dir)
+			}
+		}
+	}
+	return nil
 }
 
 // layerOf returns the layer owning the import path: the longest declared

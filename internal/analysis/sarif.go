@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF rendering for CI code-scanning upload. The shapes below are the
+// minimal subset of the SARIF 2.1.0 schema that GitHub code scanning
+// consumes: one run, one tool driver with a rule per analyzer, one result
+// per diagnostic with a physical location relative to the repository root.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. The rule table carries
+// one entry per analyzer (plus the implicit "allow" check for malformed
+// suppression directives); file paths under root are rewritten relative to
+// it with forward slashes, so the log uploads cleanly from any checkout.
+func SARIF(analyzers []*Analyzer, diags []Diagnostic, root string) ([]byte, error) {
+	rules := []sarifRule{{
+		ID:               "allow",
+		ShortDescription: sarifMessage{Text: "malformed //janus:allow suppression directive"},
+	}}
+	index := map[string]int{"allow": 0}
+	for _, a := range analyzers {
+		if _, ok := index[a.Name]; ok {
+			continue
+		}
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Check]
+		if !ok {
+			idx = len(rules)
+			index[d.Check] = idx
+			rules = append(rules, sarifRule{ID: d.Check, ShortDescription: sarifMessage{Text: d.Check}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(d.File, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "januslint",
+				InformationURI: "https://example.com/janus/internal/analysis",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// sarifURI makes a file path repository-relative with forward slashes; a
+// path outside root passes through slash-converted.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFGolden locks the exact SARIF rendering against a checked-in
+// golden file (rerun with UPDATE_GOLDEN=1 to regenerate): the rule table
+// from the analyzer suite plus the implicit allow rule, results with
+// repo-relative forward-slash URIs, and pass-through for files outside the
+// root and checks outside the suite.
+func TestSARIFGolden(t *testing.T) {
+	analyzers := []*Analyzer{FloatCmp(), LockOrder()}
+	diags := []Diagnostic{
+		{File: "/repo/internal/lp/simplex.go", Line: 42, Col: 7, Check: "floatcmp", Message: "== compares float64 values"},
+		{File: "/repo/internal/milp/parallel.go", Line: 9, Col: 2, Check: "lockorder", Message: "potential deadlock: lock-order cycle a → b → a"},
+		{File: "/repo/internal/milp/parallel.go", Line: 3, Col: 1, Check: "allow", Message: "janus:allow floatcmp needs a one-line reason explaining why the finding is intended"},
+		{File: "/elsewhere/x.go", Line: 1, Col: 1, Check: "mystery", Message: "unknown checks still render"},
+	}
+	got, err := SARIF(analyzers, diags, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed map[string]any
+	if err := json.Unmarshal(got, &parsed); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := parsed["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+
+	goldenPath := filepath.Join("testdata", "sarif.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(golden) {
+		t.Errorf("golden mismatch (rerun with UPDATE_GOLDEN=1 if intended)\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestSARIFEmpty proves a clean run still produces a well-formed log with
+// an empty (non-null) results array, which upload-sarif requires.
+func TestSARIFEmpty(t *testing.T) {
+	got, err := SARIF(Default(), nil, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(got, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
+		t.Errorf("empty run must keep results as [], got %s", got)
+	}
+}

@@ -1,0 +1,68 @@
+// Package ctxleakip exercises the interprocedural context-leak analyzer.
+package ctxleakip
+
+import "context"
+
+// blockForever blocks on a bare channel receive.
+func blockForever(ch chan int) {
+	<-ch
+}
+
+// wrapper hides the blocking receive one call deep, where the
+// intraprocedural ctxleak cannot see it.
+func wrapper(ch chan int) {
+	blockForever(ch)
+}
+
+func spawnWrapped(ch chan int) {
+	go wrapper(ch) // want ctxleakip
+}
+
+// spawnDirect is ctxleak's territory — the block sits in the goroutine's
+// immediate body — so ctxleakip stays silent to avoid double-reporting.
+func spawnDirect(ch chan int) {
+	go blockForever(ch)
+}
+
+type pump struct{ ch chan int }
+
+func (p *pump) run() { p.drain() }
+
+func (p *pump) drain() {
+	for range p.ch {
+	}
+}
+
+func startPump(p *pump) {
+	go p.run() // want ctxleakip
+}
+
+// runDone selects on a done channel: cancellable, clean.
+func (p *pump) runDone(done chan struct{}) {
+	select {
+	case <-done:
+	case v := <-p.ch:
+		_ = v
+	}
+}
+
+func startDone(p *pump, done chan struct{}) {
+	go p.runDone(done)
+}
+
+// ctxWrapper threads a context through the call chain: clean.
+func ctxWrapper(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+func spawnCtx(ctx context.Context, ch chan int) {
+	go func() { ctxWrapper(ctx, ch) }()
+}
+
+func spawnAllowed(ch chan int) {
+	//janus:allow ctxleakip fixture demonstrates an intended fire-and-forget goroutine
+	go wrapper(ch)
+}

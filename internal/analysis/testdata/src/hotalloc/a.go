@@ -1,0 +1,97 @@
+// Package hotalloc exercises the hot-path allocation analyzer.
+package hotalloc
+
+import "fmt"
+
+type sink interface{ put(v any) }
+
+type node struct{ x int }
+
+// inner is reached from two hot roots; its finding names the
+// alphabetically first root plus a +1 count.
+func inner(xs []int, v int) []int {
+	return append(xs, v) // want hotalloc
+}
+
+//janus:hotpath
+func Hot(xs []int, v int) []int {
+	buf := make([]int, 8) // want hotalloc
+	copy(buf, xs)
+	return inner(buf, v)
+}
+
+//janus:hotpath
+func Hot2(xs []int) []int {
+	return inner(xs, 1)
+}
+
+//janus:hotpath
+func HotFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want hotalloc
+}
+
+//janus:hotpath
+func HotClosure(n int) func() int {
+	f := func() int { return n } // want hotalloc
+	return f
+}
+
+//janus:hotpath
+func HotBox(s sink, v int) {
+	s.put(v) // want hotalloc
+}
+
+// HotConstBox boxes a constant, which compiles to static data: clean.
+//
+//janus:hotpath
+func HotConstBox(s sink) {
+	s.put(42)
+}
+
+//janus:hotpath
+func HotConcat(a, b string) string {
+	return a + b // want hotalloc
+}
+
+//janus:hotpath
+func HotEscape(x int) *node {
+	return &node{x: x} // want hotalloc
+}
+
+//janus:hotpath
+func HotBytes(s string) []byte {
+	return []byte(s) // want hotalloc
+}
+
+//janus:hotpath
+func HotMap() map[string]int {
+	return map[string]int{"a": 1} // want hotalloc
+}
+
+//janus:hotpath
+func HotConv(v int) any {
+	return any(v) // want hotalloc
+}
+
+//janus:hotpath
+func HotNew() *node {
+	return new(node) // want hotalloc
+}
+
+func noop() {}
+
+//janus:hotpath
+func HotSpawn() {
+	go noop() // want hotalloc
+}
+
+//janus:hotpath
+func HotAllowed() []int {
+	//janus:allow hotalloc fixture demonstrates an intended allocation
+	return []int{1, 2, 3}
+}
+
+// Cold is not annotated and nothing hot reaches it: clean.
+func Cold() []byte {
+	return make([]byte, 16)
+}

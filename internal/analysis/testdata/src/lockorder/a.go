@@ -1,0 +1,50 @@
+// Package lockorder exercises the interprocedural lock-order analyzer.
+//
+// The qmu/imu pair in this file reproduces the shape of internal/milp's
+// shared node queue: one mutex guards the open-node heap, another guards
+// the incumbent, and two call paths acquire them in opposite orders.
+package lockorder
+
+import "sync"
+
+// search mirrors the milp parallel searcher: qmu guards the node queue,
+// imu guards the incumbent bound.
+type search struct {
+	qmu sync.Mutex
+	imu sync.Mutex
+}
+
+// pushWithBound takes qmu then (through a callee) imu: the worker path.
+// The cycle is reported once, at this lexically first conflicting site.
+func (s *search) pushWithBound() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	s.readIncumbent() // want lockorder
+}
+
+func (s *search) readIncumbent() {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+}
+
+// publishIncumbent takes imu then (through a callee) qmu: the reporter
+// path, closing the cycle.
+func (s *search) publishIncumbent() {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	s.pruneQueue()
+}
+
+func (s *search) pruneQueue() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+}
+
+// spawn launches the reporter on its own goroutine: a goroutine's
+// acquisitions are not ordered after the caller's held locks, so this
+// creates no qmu→imu edge beyond the one pushWithBound already has.
+func (s *search) spawn() {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	go s.publishIncumbent()
+}

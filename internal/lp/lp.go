@@ -137,10 +137,10 @@ func (p *Problem) SetObjective(v int, obj float64) error {
 // binaries).
 func (p *Problem) SetBounds(v int, lo, up float64) error {
 	if v < 0 || v >= p.nStruct {
-		return fmt.Errorf("lp: variable %d out of range", v)
+		return fmt.Errorf("lp: variable %d out of range", v) //janus:allow hotalloc error construction on the failure path only
 	}
 	if lo > up {
-		return fmt.Errorf("lp: variable %d bounds inverted: [%g,%g]", v, lo, up)
+		return fmt.Errorf("lp: variable %d bounds inverted: [%g,%g]", v, lo, up) //janus:allow hotalloc error construction on the failure path only
 	}
 	p.lo[v], p.up[v] = lo, up
 	return nil
@@ -284,7 +284,7 @@ const (
 // safe for concurrent use on one Problem — see Clone.
 func (p *Problem) Solve(opts Options) (*Solution, error) {
 	ws := p.workspace()
-	s := &simplex{p: p, ws: ws, n: ws.n, m: ws.m}
+	s := &simplex{p: p, ws: ws, n: ws.n, m: ws.m} //janus:allow hotalloc one solver handle per LP solve, amortized over all its pivots
 	s.resetBasis()
 	if opts.WarmStart != nil {
 		s.loadBasis(opts.WarmStart)
@@ -423,9 +423,16 @@ func (s *simplex) computeBasics() {
 		if x == 0 { //janus:allow floatcmp exact-zero sparsity guard: a resting value of exactly 0 contributes nothing
 			continue
 		}
-		ws.colEntries(v, func(r int, a float64) {
-			resid[r] -= a * x
-		})
+		// Inlined colEntries: a closure here would allocate once per
+		// nonbasic variable on the pivot path.
+		if v >= ws.n {
+			resid[v-ws.n] -= x
+		} else {
+			rows, coefs := ws.colRows[v], ws.colCoefs[v]
+			for k, r := range rows {
+				resid[r] -= coefs[k] * x
+			}
+		}
 	}
 	xB := ws.xB
 	for i := 0; i < m; i++ {
@@ -620,8 +627,8 @@ func (s *simplex) priceFullScan(phase1 bool, y []float64) (int, float64, float64
 			best, enter, dir = score, v, dv
 		}
 		if len(ws.cands) < limit {
-			ws.cands = append(ws.cands, int32(v))
-			ws.candScore = append(ws.candScore, score)
+			ws.cands = append(ws.cands, int32(v))      //janus:allow hotalloc candidate buffers keep their capacity across pivots, bounded by the pricing limit
+			ws.candScore = append(ws.candScore, score) //janus:allow hotalloc candidate buffers keep their capacity across pivots, bounded by the pricing limit
 			continue
 		}
 		mi := 0
@@ -655,6 +662,8 @@ func (s *simplex) priceBland(phase1 bool, y []float64) (int, float64, float64) {
 // pivotOnce performs one simplex iteration. It returns progressed=false
 // when no improving entering variable exists (optimality for the phase),
 // and unbounded=true when the entering direction is unbounded.
+//
+//janus:hotpath
 func (s *simplex) pivotOnce(phase1 bool) (progressed, unbounded bool) {
 	ws := s.ws
 	m := s.m
@@ -820,13 +829,13 @@ func (s *simplex) value(v int) float64 {
 
 func (s *simplex) extract(status Status) *Solution {
 	ws := s.ws
-	sol := &Solution{
+	sol := &Solution{ //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
 		Status:           status,
 		Iterations:       s.iters,
 		Refactorizations: ws.refactorizations,
 		PricingSwitches:  ws.pricingSwitches,
 	}
-	sol.X = make([]float64, s.n)
+	sol.X = make([]float64, s.n) //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
 	for v := 0; v < s.n; v++ {
 		sol.X[v] = s.value(v)
 	}
@@ -834,15 +843,15 @@ func (s *simplex) extract(status Status) *Solution {
 		sol.Objective = s.objective()
 		// Duals: y = c_B B⁻¹ with the real objective, via BTRAN.
 		y := ws.btran(s.basicCosts(false))
-		sol.Duals = append([]float64(nil), y...)
-		sol.ReducedCosts = make([]float64, s.n)
+		sol.Duals = append([]float64(nil), y...) //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+		sol.ReducedCosts = make([]float64, s.n)  //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
 		for v := 0; v < s.n; v++ {
 			sol.ReducedCosts[v] = s.reducedCost(false, y, v)
 		}
 	}
-	sol.Basis = &Basis{
-		basic:  append([]int(nil), ws.basic...),
-		status: append([]int8(nil), ws.status...),
+	sol.Basis = &Basis{ //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+		basic:  append([]int(nil), ws.basic...),   //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+		status: append([]int8(nil), ws.status...), //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
 		n:      s.n + s.m,
 		m:      s.m,
 	}

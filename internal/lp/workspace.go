@@ -129,24 +129,24 @@ func (p *Problem) workspace() *workspace {
 func newWorkspace(p *Problem) *workspace {
 	n, m := p.nStruct, len(p.rows)
 	total := n + m
-	ws := &workspace{version: p.version, n: n, m: m}
-	ws.lo = make([]float64, total)
-	ws.up = make([]float64, total)
-	ws.obj = make([]float64, total)
-	ws.basic = make([]int, m)
-	ws.status = make([]int8, total)
-	ws.varRow = make([]int32, total)
-	ws.xB = make([]float64, m)
-	ws.binv0 = make([]float64, m*m)
-	ws.facBasic = make([]int, m)
-	ws.gjB = make([]float64, m*m)
-	ws.gjInv = make([]float64, m*m)
-	ws.y = make([]float64, m)
-	ws.w = make([]float64, m)
-	ws.z = make([]float64, m)
-	ws.resid = make([]float64, m)
-	ws.mark = make([]bool, total)
-	ws.etaStart = append(ws.etaStart, 0)
+	ws := &workspace{version: p.version, n: n, m: m} //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.lo = make([]float64, total)                   //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.up = make([]float64, total)                   //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.obj = make([]float64, total)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.basic = make([]int, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.status = make([]int8, total)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.varRow = make([]int32, total)                 //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.xB = make([]float64, m)                       //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.binv0 = make([]float64, m*m)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.facBasic = make([]int, m)                     //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.gjB = make([]float64, m*m)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.gjInv = make([]float64, m*m)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.y = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.w = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.z = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.resid = make([]float64, m)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.mark = make([]bool, total)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws.etaStart = append(ws.etaStart, 0)             //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
 	ws.buildCols(p)
 	return ws
 }
@@ -178,23 +178,23 @@ func (ws *workspace) refresh(p *Problem) {
 
 // buildCols constructs the CSC column index of the structural matrix.
 func (ws *workspace) buildCols(p *Problem) {
-	ws.colRows = make([][]int32, ws.n)
-	ws.colCoefs = make([][]float64, ws.n)
-	counts := make([]int, ws.n)
+	ws.colRows = make([][]int32, ws.n)    //janus:allow hotalloc CSC column index built once per problem version
+	ws.colCoefs = make([][]float64, ws.n) //janus:allow hotalloc CSC column index built once per problem version
+	counts := make([]int, ws.n)           //janus:allow hotalloc CSC column index built once per problem version
 	for r := range p.rows {
 		for _, v := range p.rows[r].vars {
 			counts[v]++
 		}
 	}
 	for v := 0; v < ws.n; v++ {
-		ws.colRows[v] = make([]int32, 0, counts[v])
-		ws.colCoefs[v] = make([]float64, 0, counts[v])
+		ws.colRows[v] = make([]int32, 0, counts[v])    //janus:allow hotalloc CSC column index built once per problem version
+		ws.colCoefs[v] = make([]float64, 0, counts[v]) //janus:allow hotalloc CSC column index built once per problem version
 	}
 	for r := range p.rows {
 		rw := &p.rows[r]
 		for i, v := range rw.vars {
-			ws.colRows[v] = append(ws.colRows[v], int32(r))
-			ws.colCoefs[v] = append(ws.colCoefs[v], rw.coefs[i])
+			ws.colRows[v] = append(ws.colRows[v], int32(r))      //janus:allow hotalloc CSC column index built once per problem version
+			ws.colCoefs[v] = append(ws.colCoefs[v], rw.coefs[i]) //janus:allow hotalloc CSC column index built once per problem version
 		}
 	}
 }
@@ -232,12 +232,12 @@ func (ws *workspace) appendEta(w []float64, r int) {
 		if i == r || math.Abs(wi) <= etaDropTol {
 			continue
 		}
-		ws.etaRows = append(ws.etaRows, int32(i))
-		ws.etaVals = append(ws.etaVals, wi)
+		ws.etaRows = append(ws.etaRows, int32(i)) //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
+		ws.etaVals = append(ws.etaVals, wi)       //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
 	}
-	ws.etaStart = append(ws.etaStart, int32(len(ws.etaRows)))
-	ws.etaPivRow = append(ws.etaPivRow, int32(r))
-	ws.etaPivVal = append(ws.etaPivVal, w[r])
+	ws.etaStart = append(ws.etaStart, int32(len(ws.etaRows))) //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
+	ws.etaPivRow = append(ws.etaPivRow, int32(r))             //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
+	ws.etaPivVal = append(ws.etaPivVal, w[r])                 //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
 	ws.facBasic[r] = ws.basic[r]
 }
 
@@ -273,6 +273,8 @@ func (ws *workspace) btranEtas(z []float64) {
 
 // ftranColumn computes w = B⁻¹·A_v into the shared scratch ws.w, exploiting
 // the sparsity of column v against binv0's rows before applying the etas.
+//
+//janus:hotpath
 func (ws *workspace) ftranColumn(v int) []float64 {
 	m := ws.m
 	w := ws.w
@@ -298,6 +300,8 @@ func (ws *workspace) ftranColumn(v int) []float64 {
 
 // btran computes y = z·B⁻¹ into the shared scratch ws.y, destroying z.
 // Zero z components — most of them, in phase 1 — skip their binv0 row.
+//
+//janus:hotpath
 func (ws *workspace) btran(z []float64) []float64 {
 	m := ws.m
 	ws.btranEtas(z)
@@ -333,10 +337,18 @@ func (ws *workspace) refactorize() error {
 	for i := 0; i < m; i++ {
 		inv[i*m+i] = 1
 	}
+	// Inlined colEntries: a closure here would allocate once per basic
+	// column on every refactorization.
 	for r := 0; r < m; r++ {
-		ws.colEntries(ws.basic[r], func(i int, a float64) {
-			B[i*m+r] = a
-		})
+		v := ws.basic[r]
+		if v >= ws.n {
+			B[(v-ws.n)*m+r] = 1
+		} else {
+			rows, coefs := ws.colRows[v], ws.colCoefs[v]
+			for k, i := range rows {
+				B[int(i)*m+r] = coefs[k]
+			}
+		}
 	}
 	for col := 0; col < m; col++ {
 		piv, best := -1, pivotTol

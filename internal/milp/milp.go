@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"janus/internal/lp"
@@ -162,9 +163,21 @@ func NewSolver(prob *lp.Problem, integers []int) *Solver {
 	return &Solver{prob: prob, integers: append([]int(nil), integers...)}
 }
 
+// fixing is one branching decision. A node's fixings form an immutable
+// chain shared with its ancestors: branching allocates one entry per child
+// instead of copying a map of the whole path, which kept the hot worker
+// loop O(depth) in allocations per node. Each variable appears at most
+// once on a chain — a fixed variable is never fractional again, so it is
+// never re-branched.
+type fixing struct {
+	v    int
+	val  float64 // 0 or 1
+	prev *fixing
+}
+
 type node struct {
-	// fixings applied relative to the root: var -> value (0 or 1)
-	fixings map[int]float64
+	// fixings applied relative to the root, innermost decision first
+	fixings *fixing
 	bound   float64 // parent LP objective (upper bound for this node)
 	basis   *lp.Basis
 	depth   int
@@ -252,7 +265,7 @@ func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, erro
 	// Seed the incumbent: the caller's MIP start first, then rounding
 	// heuristics on the root relaxation.
 	if opts.MIPStart != nil {
-		if res, err := s.solveLP(opts.MIPStart, nil); err == nil && res.Status == lp.Optimal && s.isIntegral(res.X) {
+		if res, err := s.solveLP(fixingChain(opts.MIPStart), nil); err == nil && res.Status == lp.Optimal && s.isIntegral(res.X) {
 			accept(res.X, res.Objective)
 		}
 	}
@@ -265,10 +278,11 @@ func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, erro
 
 	// DFS stack (dive-first keeps warm starts effective: each child solves
 	// from its parent's basis with one bound change).
-	stack := []*node{{fixings: map[int]float64{}, bound: root.Objective, basis: root.Basis}}
+	stack := []*node{{bound: root.Objective, basis: root.Basis}}
 	if frac := s.pickBranch(root.X, opts, intIndex); frac >= 0 {
 		// Root is fractional; replace the root node with its two children.
-		stack = s.children(stack[0], frac, root.X[frac])
+		ch := s.children(stack[0], frac, root.X[frac])
+		stack = ch[:]
 	} else if root.Status == lp.Optimal {
 		// Root is integral: done.
 		accept(root.X, root.Objective)
@@ -337,9 +351,10 @@ func (s *Solver) solveSerial(ctx context.Context, opts Options) (*Solution, erro
 				accept(x, obj)
 			}
 		}
-		stack = append(stack, s.children(&node{
+		ch := s.children(&node{
 			fixings: nd.fixings, bound: res.Objective, basis: res.Basis, depth: nd.depth,
-		}, frac, res.X[frac])...)
+		}, frac, res.X[frac])
+		stack = append(stack, ch[0], ch[1])
 	}
 
 	// Final bound: max over remaining open nodes and the incumbent.
@@ -415,34 +430,45 @@ func (s *Solver) RelaxAndRound(ctx context.Context) (*Solution, bool) {
 
 // children builds the two child nodes of branching variable v with LP value
 // x, ordering them so the more promising child is explored first (dive
-// toward the nearer integer).
-func (s *Solver) children(parent *node, v int, x float64) []*node {
-	mk := func(val float64) *node {
-		f := make(map[int]float64, len(parent.fixings)+1)
-		for k, fv := range parent.fixings {
-			f[k] = fv
-		}
-		f[v] = val
-		return &node{fixings: f, bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
-	}
-	up, down := mk(1), mk(0)
+// toward the nearer integer). It returns an array, not a slice, so the hot
+// branch step allocates only the two nodes and their fixing entries.
+func (s *Solver) children(parent *node, v int, x float64) [2]*node {
+	up := &node{fixings: &fixing{v: v, val: 1, prev: parent.fixings}, //janus:allow hotalloc a branch node must outlive the step: it escapes to the node queue by design
+		bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
+	down := &node{fixings: &fixing{v: v, val: 0, prev: parent.fixings}, //janus:allow hotalloc a branch node must outlive the step: it escapes to the node queue by design
+		bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
 	// Stack is LIFO: push the preferred child last.
 	if x >= 0.5 {
-		return []*node{down, up}
+		return [2]*node{down, up}
 	}
-	return []*node{up, down}
+	return [2]*node{up, down}
 }
 
-// solveLP applies the fixings, solves, and restores bounds.
-func (s *Solver) solveLP(fixings map[int]float64, warm *lp.Basis) (*lp.Solution, error) {
-	for v, val := range fixings {
-		if err := s.prob.SetBounds(v, val, val); err != nil {
+// fixingChain converts a caller-facing fixings map (Options.MIPStart) into
+// a chain, in sorted variable order so the bound edits are deterministic.
+func fixingChain(m map[int]float64) *fixing {
+	vars := make([]int, 0, len(m))
+	for v := range m {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	var f *fixing
+	for _, v := range vars {
+		f = &fixing{v: v, val: m[v], prev: f}
+	}
+	return f
+}
+
+// solveLP applies the fixing chain, solves, and restores bounds.
+func (s *Solver) solveLP(fixings *fixing, warm *lp.Basis) (*lp.Solution, error) {
+	for f := fixings; f != nil; f = f.prev {
+		if err := s.prob.SetBounds(f.v, f.val, f.val); err != nil {
 			return nil, err
 		}
 	}
 	res, err := s.prob.Solve(lp.Options{WarmStart: warm})
-	for v := range fixings {
-		if err2 := s.restoreVar(v); err2 != nil && err == nil {
+	for f := fixings; f != nil; f = f.prev {
+		if err2 := s.restoreVar(f.v); err2 != nil && err == nil {
 			err = err2
 		}
 	}
@@ -541,13 +567,13 @@ func pcAvg(sum float64, n int) float64 {
 // re-solves the continuous rest; it returns ok=false when the rounding is
 // infeasible.
 func (s *Solver) roundAndRepair(x []float64) ([]float64, float64, bool) {
-	fixings := make(map[int]float64, len(s.integers))
+	var fixings *fixing
 	for _, v := range s.integers {
+		val := 0.0
 		if x[v] >= 0.5 {
-			fixings[v] = 1
-		} else {
-			fixings[v] = 0
+			val = 1
 		}
+		fixings = &fixing{v: v, val: val, prev: fixings} //janus:allow hotalloc one fixing entry per integer variable, on the periodic rounding schedule only
 	}
 	res, err := s.solveLP(fixings, nil)
 	if err != nil || res.Status != lp.Optimal {
@@ -577,13 +603,13 @@ func (s *Solver) isIntegral(x []float64) bool {
 // at 1 stay 1) and repairs; it complements roundAndRepair when
 // nearest-rounding is infeasible.
 func (s *Solver) greedyIncumbent(x []float64) ([]float64, float64, bool) {
-	fixings := make(map[int]float64, len(s.integers))
+	var fixings *fixing
 	for _, v := range s.integers {
+		val := 0.0
 		if x[v] >= 1-intTol {
-			fixings[v] = 1
-		} else {
-			fixings[v] = 0
+			val = 1
 		}
+		fixings = &fixing{v: v, val: val, prev: fixings}
 	}
 	res, err := s.solveLP(fixings, nil)
 	if err != nil || res.Status != lp.Optimal {

@@ -1,7 +1,6 @@
 package milp
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -46,14 +45,48 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(pqNode)) }
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = pqNode{}
-	*h = old[:n-1]
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// push and pop are a typed binary heap (same sift order as
+// container/heap), so enqueueing a node in the worker loop does not box
+// every pqNode into an interface.
+func (h *nodeHeap) push(it pqNode) {
+	*h = append(*h, it) //janus:allow hotalloc queue growth is amortized: the heap keeps its capacity across pushes
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.Less(i, parent) {
+			break
+		}
+		s.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() pqNode {
+	s := *h
+	n := len(s) - 1
+	s.Swap(0, n)
+	it := s[n]
+	s[n] = pqNode{}
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= len(s) {
+			break
+		}
+		if r := j + 1; r < len(s) && s.Less(r, j) {
+			j = r
+		}
+		if !s.Less(j, i) {
+			break
+		}
+		s.Swap(i, j)
+		i = j
+	}
 	return it
 }
 
@@ -94,7 +127,7 @@ func newParSearch() *parSearch {
 func (ps *parSearch) acceptLocked(x []float64, obj float64) {
 	if obj > ps.incObj {
 		ps.incObj = obj
-		ps.incumbent = append([]float64(nil), x...)
+		ps.incumbent = append([]float64(nil), x...) //janus:allow hotalloc the incumbent is copied only when the bound improves
 		ps.lastImprove = ps.nodes
 	}
 }
@@ -114,7 +147,7 @@ func (ps *parSearch) haltLocked(limit bool, err error) {
 // pushLocked queues a node; callers hold mu.
 func (ps *parSearch) pushLocked(nd *node) {
 	ps.seq++
-	heap.Push(&ps.open, pqNode{node: nd, seq: ps.seq})
+	ps.open.push(pqNode{node: nd, seq: ps.seq})
 	ps.outstanding++
 	ps.cond.Signal()
 }
@@ -154,7 +187,7 @@ func (ps *parSearch) next(ctx context.Context, id int, opts Options, deadline ti
 			return nil, false
 		}
 		if err := ctx.Err(); err != nil {
-			ps.haltLocked(false, fmt.Errorf("milp: solve aborted after %d nodes: %w", ps.nodes, err))
+			ps.haltLocked(false, fmt.Errorf("milp: solve aborted after %d nodes: %w", ps.nodes, err)) //janus:allow hotalloc error construction on the failure path only
 			return nil, false
 		}
 		if ps.nodes >= opts.MaxNodes {
@@ -169,7 +202,7 @@ func (ps *parSearch) next(ctx context.Context, id int, opts Options, deadline ti
 			ps.haltLocked(true, nil)
 			return nil, false
 		}
-		it := heap.Pop(&ps.open).(pqNode)
+		it := ps.open.pop()
 		if ps.gapOKLocked(it.bound, opts.RelGap) || it.bound <= ps.incObj+pruneTol {
 			ps.outstanding--
 			if ps.outstanding == 0 {
@@ -207,6 +240,8 @@ func newWorker(parent *Solver, id int) *worker {
 // run is the worker loop: claim a node, re-solve its LP on the private
 // clone, then publish the outcome (incumbent, children, or nothing) under
 // the shared lock.
+//
+//janus:hotpath
 func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline time.Time, intIndex map[int]int) {
 	for {
 		nd, ok := ps.next(ctx, w.id, opts, deadline)
@@ -217,7 +252,7 @@ func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline 
 		if err != nil {
 			ps.mu.Lock()
 			ps.finishLocked(w.id)
-			ps.haltLocked(false, fmt.Errorf("milp: node solve: %w", err))
+			ps.haltLocked(false, fmt.Errorf("milp: node solve: %w", err)) //janus:allow hotalloc error construction on the failure path only
 			ps.mu.Unlock()
 			return
 		}
@@ -256,7 +291,7 @@ func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline 
 			rx, robj, rok = w.roundAndRepair(res.X)
 		}
 
-		children := w.children(&node{
+		children := w.children(&node{ //janus:allow hotalloc the re-bounded parent must outlive the step: its children share it by design
 			fixings: nd.fixings, bound: res.Objective, basis: res.Basis, depth: nd.depth,
 		}, frac, res.X[frac])
 
@@ -318,7 +353,7 @@ func (s *Solver) solveParallel(ctx context.Context, opts Options) (*Solution, er
 
 	ps := newParSearch()
 	if opts.MIPStart != nil {
-		if res, err := s.solveLP(opts.MIPStart, nil); err == nil && res.Status == lp.Optimal && s.isIntegral(res.X) {
+		if res, err := s.solveLP(fixingChain(opts.MIPStart), nil); err == nil && res.Status == lp.Optimal && s.isIntegral(res.X) {
 			ps.acceptLocked(res.X, res.Objective)
 		}
 	}
@@ -343,7 +378,7 @@ func (s *Solver) solveParallel(ctx context.Context, opts Options) (*Solution, er
 		sol.Status = Limit
 		return sol, nil
 	}
-	for _, ch := range s.children(&node{fixings: map[int]float64{}, bound: root.Objective, basis: root.Basis}, frac, root.X[frac]) {
+	for _, ch := range s.children(&node{bound: root.Objective, basis: root.Basis}, frac, root.X[frac]) {
 		ps.pushLocked(ch)
 	}
 
