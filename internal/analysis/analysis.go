@@ -10,20 +10,30 @@
 //
 // A finding is suppressed by a comment of the form
 //
-//	//janus:allow <check>[,<check>...] <reason>
+//	//janus:allow(check[,check...]): reason
 //
 // placed on the offending line or on the line immediately above it. The
 // reason is mandatory: an allow comment without one is itself reported
 // (check name "allow"), so every suppression documents why the exact
-// behavior is intended.
+// behavior is intended. The staleallow analyzer audits the suppressions
+// themselves: a directive in the legacy "//janus:allow check reason" form,
+// or one that no longer silences any finding, is a finding (see
+// staleallow.go).
+//
+// RunAll analyzes packages concurrently (one worker per GOMAXPROCS) and
+// returns diagnostics in a fully deterministic order regardless of
+// scheduling; cache.go adds an on-disk diagnostic cache so warm runs skip
+// unchanged packages entirely.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding.
@@ -52,6 +62,10 @@ type Analyzer struct {
 	// per-package: it emits only the findings anchored in that package.
 	// Prepare always receives every loaded package, ignoring Paths — a
 	// scoped analyzer may still need edges through unscoped packages.
+	//
+	// An analyzer with Prepare is "whole-program": its per-package
+	// findings can change when *any* package changes, so the diagnostic
+	// cache keys them globally instead of per package (see cache.go).
 	Prepare func([]*Package)
 	Run     func(*Pass)
 }
@@ -93,10 +107,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // interprocedural upgrade ctxleakip guard the long-lived
 // server/runtime/dataplane layers where a leaked goroutine survives for
 // the life of the controller, lockorder guards the layers that mix locks
-// with channels and worker pools, and the rest — lockcheck, errdrop,
-// hotalloc, and the CFG-backed mutexcopy/deferloop/layercheck — run
-// everywhere (layercheck self-scopes to the packages layers.json names,
-// hotalloc to the closure of //janus:hotpath roots).
+// with channels and worker pools, nilness guards the layers whose nil
+// dereference takes down the control plane, and the rest — lockcheck,
+// errdrop, hotalloc, deadstore, staleallow, and the CFG-backed
+// mutexcopy/deferloop/layercheck — run everywhere (layercheck self-scopes
+// to the packages layers.json names, hotalloc to the closure of
+// //janus:hotpath roots).
 //
 // The three interprocedural analyzers (lockorder, hotalloc, ctxleakip)
 // share one whole-program call graph, built once per RunAll.
@@ -107,6 +123,8 @@ func Default() []*Analyzer {
 	dr.Paths = []string{"internal/"}
 	cl := CtxLeak()
 	cl.Paths = []string{"internal/server", "internal/runtime", "internal/dataplane"}
+	nl := Nilness()
+	nl.Paths = []string{"internal/runtime", "internal/server", "internal/dataplane", "internal/core"}
 	ip := &interp{}
 	lo := lockOrderWith(ip)
 	lo.Paths = []string{"internal/runtime", "internal/server", "internal/dataplane", "internal/milp"}
@@ -116,6 +134,7 @@ func Default() []*Analyzer {
 		fc, dr, LockCheck(), ErrDrop(),
 		MutexCopy(), cl, DeferLoop(), LayerCheck(),
 		lo, hotAllocWith(ip), clip,
+		nl, DeadStore(), StaleAllow(),
 	}
 }
 
@@ -125,13 +144,58 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return RunAll([]*Package{pkg}, analyzers)
 }
 
+// pkgResult is the analysis outcome for one package, split the way the
+// diagnostic cache needs it: local findings (intraprocedural analyzers
+// plus malformed-allow reports) depend only on the package and its
+// dependencies, global findings (whole-program analyzers plus the
+// staleallow audit, which must see every suppression hit) can change when
+// any package changes.
+type pkgResult struct {
+	local  []Diagnostic
+	global []Diagnostic
+	stale  []Diagnostic
+	// usedLocal keys the allow entries consumed while filtering local
+	// findings, so a cached replay can re-mark them before the staleness
+	// audit runs.
+	usedLocal []string
+}
+
+func (r *pkgResult) all() []Diagnostic {
+	out := make([]Diagnostic, 0, len(r.local)+len(r.global)+len(r.stale))
+	out = append(out, r.local...)
+	out = append(out, r.global...)
+	return append(out, r.stale...)
+}
+
 // RunAll applies the analyzers to the whole program at once: each
 // analyzer's Prepare sees every package (so call graphs span the full
-// load), then per-package passes run for the packages the analyzer's Paths
-// accept. Suppressed findings are dropped and the rest return sorted by
-// position. Malformed //janus:allow comments (missing reason, unknown
-// check name) are reported under the "allow" check.
+// load), then per-package passes run concurrently for the packages the
+// analyzer's Paths accept. Suppressed findings are dropped and the rest
+// return in a deterministic order (file, line, col, check, message) that
+// does not depend on scheduling. Malformed //janus:allow comments (missing
+// reason, unknown check name) are reported under the "allow" check.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	results := runPackages(pkgs, analyzers, nil)
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r.all()...)
+	}
+	sortDiags(out)
+	return out
+}
+
+// replaySeed substitutes cached local findings for a package whose inputs
+// have not changed: the intraprocedural analyzers are skipped and their
+// cached diagnostics (and allow-entry hits) replayed.
+type replaySeed struct {
+	local []Diagnostic
+	used  []string
+}
+
+// runPackages runs the suite over every package with a worker pool,
+// returning per-package results in input order. seeds, when non-nil, maps
+// packages to cached local results to replay instead of re-analyzing.
+func runPackages(pkgs []*Package, analyzers []*Analyzer, seeds map[*Package]*replaySeed) []*pkgResult {
 	known := map[string]bool{"allow": true}
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -141,24 +205,75 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Prepare(pkgs)
 		}
 	}
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allows, diags := collectAllows(pkg, known)
-		out = append(out, diags...)
-		for _, a := range analyzers {
-			if !a.applies(pkg.Path) {
+	results := make([]*pkgResult, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = analyzePackage(pkg, analyzers, known, seeds[pkg])
+		}(i, pkg)
+	}
+	wg.Wait()
+	return results
+}
+
+// analyzePackage runs every applicable analyzer over one package,
+// filtering suppressed findings and auditing the suppressions themselves.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, known map[string]bool, seed *replaySeed) *pkgResult {
+	allows, allowDiags := collectAllows(pkg, known)
+	res := &pkgResult{}
+	if seed != nil {
+		res.local = seed.local
+		res.usedLocal = seed.used
+		for _, key := range seed.used {
+			allows.markUsed(key)
+		}
+	} else {
+		res.local = allowDiags
+	}
+	runOne := func(a *Analyzer, global bool) {
+		if a.Run == nil || !a.applies(pkg.Path) {
+			return
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if key, ok := allows.suppress(d); ok {
+				if !global {
+					res.usedLocal = append(res.usedLocal, key)
+				}
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if allows.suppressed(d) {
-					continue
-				}
-				out = append(out, d)
+			if global {
+				res.global = append(res.global, d)
+			} else {
+				res.local = append(res.local, d)
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Prepare == nil && seed == nil {
+			runOne(a, false)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Prepare != nil {
+			runOne(a, true)
+		}
+	}
+	res.stale = staleAllowDiags(pkg, analyzers, allows)
+	return res
+}
+
+// sortDiags orders diagnostics deterministically: file, line, column,
+// check, then message. The message tie-break matters when one analyzer
+// reports twice at the same position — without it, parallel runs could
+// interleave equal-position findings differently.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -170,41 +285,89 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 const allowPrefix = "//janus:allow"
 
-// allowIndex maps file -> line -> set of allowed check names. An allow
-// comment covers its own line (trailing comment) and the line below it
-// (comment on its own line above the code).
-type allowIndex map[string]map[int]map[string]bool
-
-func (ai allowIndex) suppressed(d Diagnostic) bool {
-	lines := ai[d.File]
-	if lines == nil {
-		return false
-	}
-	return lines[d.Line][d.Check] || lines[d.Line-1][d.Check]
+// allowEntry is one parsed check name of one //janus:allow directive.
+type allowEntry struct {
+	file   string
+	line   int // line the directive sits on
+	col    int
+	check  string
+	legacy bool // written in the pre-(check): reason form
+	used   bool // suppressed at least one finding this run
+	pos    token.Pos
 }
 
-func (ai allowIndex) add(file string, line int, check string) {
-	if ai[file] == nil {
-		ai[file] = map[int]map[string]bool{}
+func (e *allowEntry) key() string {
+	return fmt.Sprintf("%s:%d:%s", e.file, e.line, e.check)
+}
+
+// allowIndex holds a package's suppression directives: a lookup by
+// file/line plus the entry list in source order for the staleness audit.
+// An allow comment covers its own line (trailing comment) and the line
+// below it (comment on its own line above the code).
+type allowIndex struct {
+	byLine  map[string]map[int]map[string]*allowEntry
+	entries []*allowEntry
+}
+
+// suppress reports whether d is covered by a directive, marking the
+// covering entry used and returning its key.
+func (ai *allowIndex) suppress(d Diagnostic) (string, bool) {
+	lines := ai.byLine[d.File]
+	if lines == nil {
+		return "", false
 	}
-	if ai[file][line] == nil {
-		ai[file][line] = map[string]bool{}
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		if e := lines[line][d.Check]; e != nil {
+			e.used = true
+			return e.key(), true
+		}
 	}
-	ai[file][line][check] = true
+	return "", false
+}
+
+// markUsed marks the entry with the given key used (cache replay path).
+func (ai *allowIndex) markUsed(key string) {
+	for _, e := range ai.entries {
+		if e.key() == key {
+			e.used = true
+			return
+		}
+	}
+}
+
+func (ai *allowIndex) add(e *allowEntry) {
+	if ai.byLine == nil {
+		ai.byLine = map[string]map[int]map[string]*allowEntry{}
+	}
+	if ai.byLine[e.file] == nil {
+		ai.byLine[e.file] = map[int]map[string]*allowEntry{}
+	}
+	if ai.byLine[e.file][e.line] == nil {
+		ai.byLine[e.file][e.line] = map[string]*allowEntry{}
+	}
+	ai.byLine[e.file][e.line][e.check] = e
+	ai.entries = append(ai.entries, e)
 }
 
 // collectAllows scans every comment of the package for //janus:allow
 // directives, returning the suppression index plus diagnostics for
 // malformed directives.
-func collectAllows(pkg *Package, known map[string]bool) (allowIndex, []Diagnostic) {
-	ai := allowIndex{}
+//
+// The canonical form is //janus:allow(check[,check...]): reason. The
+// legacy form //janus:allow check[,check...] reason still suppresses so a
+// migration can land incrementally, but each legacy directive is reported
+// by the staleallow analyzer until it is rewritten.
+func collectAllows(pkg *Package, known map[string]bool) (*allowIndex, []Diagnostic) {
+	ai := &allowIndex{}
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
 		position := pkg.Fset.Position(pos)
@@ -223,21 +386,48 @@ func collectAllows(pkg *Package, known map[string]bool) (allowIndex, []Diagnosti
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				var checks, reason string
+				legacy := false
+				if inner, ok := strings.CutPrefix(rest, "("); ok {
+					close := strings.Index(inner, ")")
+					if close < 0 {
+						report(c.Pos(), "janus:allow directive is missing the closing parenthesis: write //janus:allow(check): reason")
+						continue
+					}
+					checks = strings.TrimSpace(inner[:close])
+					after := inner[close+1:]
+					if tail, ok := strings.CutPrefix(after, ":"); ok {
+						reason = strings.TrimSpace(tail)
+					} else {
+						report(c.Pos(), "janus:allow(%s) needs a colon before the reason: write //janus:allow(%s): reason", checks, checks)
+						continue
+					}
+				} else {
+					legacy = true
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						checks = fields[0]
+						reason = strings.Join(fields[1:], " ")
+					}
+				}
+				if checks == "" {
 					report(c.Pos(), "janus:allow needs a check name and a reason")
 					continue
 				}
-				if len(fields) == 1 {
-					report(c.Pos(), "janus:allow %s needs a one-line reason explaining why the finding is intended", fields[0])
+				if reason == "" {
+					report(c.Pos(), "janus:allow %s needs a one-line reason explaining why the finding is intended", checks)
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				for _, check := range strings.Split(fields[0], ",") {
+				for _, check := range strings.Split(checks, ",") {
+					check = strings.TrimSpace(check)
 					if !known[check] {
 						report(c.Pos(), "janus:allow references unknown check %q", check)
 						continue
 					}
-					ai.add(pos.Filename, pos.Line, check)
+					ai.add(&allowEntry{
+						file: pos.Filename, line: pos.Line, col: pos.Column,
+						check: check, legacy: legacy, pos: c.Pos(),
+					})
 				}
 			}
 		}

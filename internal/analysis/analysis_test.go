@@ -28,16 +28,19 @@ func loadFixture(t *testing.T, name string) *Package {
 }
 
 // wantComments extracts "// want <check>..." expectations from the fixture,
-// keyed by file:line.
+// keyed by file:line. The marker may sit mid-comment so a //janus:allow
+// directive (whose reason runs to the end of the line) can still carry an
+// expectation — the staleallow fixture needs exactly that.
 func wantComments(p *Package) map[string][]string {
 	want := map[string][]string{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
 					continue
 				}
+				rest := c.Text[i+len("// want "):]
 				pos := p.Fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 				want[key] = append(want[key], strings.Fields(rest)...)
@@ -96,6 +99,27 @@ func TestDeferLoopFixture(t *testing.T) { checkFixture(t, "deferloop", DeferLoop
 func TestLockOrderFixture(t *testing.T) { checkFixture(t, "lockorder", LockOrder()) }
 func TestHotAllocFixture(t *testing.T)  { checkFixture(t, "hotalloc", HotAlloc()) }
 func TestCtxLeakIPFixture(t *testing.T) { checkFixture(t, "ctxleakip", CtxLeakIP()) }
+
+func TestNilnessFixture(t *testing.T)   { checkFixture(t, "nilness", Nilness()) }
+func TestDeadStoreFixture(t *testing.T) { checkFixture(t, "deadstore", DeadStore()) }
+
+// staleAllowFixtureSuite is the analyzer set the staleallow fixture is
+// written against: floatcmp (whose directives exercise used, stale, and
+// legacy suppressions), detrand scoped away from the fixture package (so a
+// directive naming it is reported as out-of-scope), and the audit itself.
+func staleAllowFixtureSuite() []*Analyzer {
+	dr := DetRand()
+	dr.Paths = []string{"internal/server"}
+	return []*Analyzer{FloatCmp(), dr, StaleAllow()}
+}
+
+// TestStaleAllowFixture runs the audit in a multi-analyzer suite: only
+// there does "suppressed nothing" have meaning.
+func TestStaleAllowFixture(t *testing.T) {
+	p := loadFixture(t, "staleallow")
+	diags := Run(p, staleAllowFixtureSuite())
+	diffDiags(t, wantComments(p), diags)
+}
 
 // layercheckFixtureRules layers the fixture tree the way layers.json layers
 // production code: lp is the bottom solver layer (imports nothing), server
@@ -175,6 +199,15 @@ func TestGolden(t *testing.T) {
 		}},
 		{"ctxleakip", func(t *testing.T) []Diagnostic {
 			return Run(loadFixture(t, "ctxleakip"), []*Analyzer{CtxLeakIP()})
+		}},
+		{"nilness", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "nilness"), []*Analyzer{Nilness()})
+		}},
+		{"deadstore", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "deadstore"), []*Analyzer{DeadStore()})
+		}},
+		{"staleallow", func(t *testing.T) []Diagnostic {
+			return Run(loadFixture(t, "staleallow"), staleAllowFixtureSuite())
 		}},
 	}
 	for _, tc := range cases {
@@ -272,10 +305,10 @@ func TestLoadTree(t *testing.T) {
 		names = append(names, p.Types.Name())
 	}
 	want := []string{
-		"allowform", "ctxleak", "ctxleakip", "deferloop", "detrand", "errdrop",
-		"floatcmp", "hotalloc",
+		"allowform", "ctxleak", "ctxleakip", "deadstore", "deferloop", "detrand",
+		"errdrop", "floatcmp", "hotalloc",
 		"core", "lp", "server", "stray", // layercheck/* in import-path order
-		"lockcheck", "lockorder", "mutexcopy",
+		"lockcheck", "lockorder", "mutexcopy", "nilness", "staleallow",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("LoadTree packages = %v, want %v", names, want)
@@ -288,8 +321,8 @@ func TestLoadTree(t *testing.T) {
 // checks everywhere.
 func TestDefaultScoping(t *testing.T) {
 	suite := Default()
-	if len(suite) != 11 {
-		t.Fatalf("Default() has %d analyzers, want 11", len(suite))
+	if len(suite) != 14 {
+		t.Fatalf("Default() has %d analyzers, want 14", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -333,10 +366,66 @@ func TestDefaultScoping(t *testing.T) {
 			if !a.applies("janus/internal/milp") || !a.applies("janus/internal/runtime") {
 				t.Error("lockorder should apply to internal/milp and internal/runtime")
 			}
-		case "lockcheck", "errdrop", "mutexcopy", "deferloop", "layercheck", "hotalloc":
+		case "nilness":
+			if a.applies("janus/internal/lp") {
+				t.Error("nilness should not apply to internal/lp")
+			}
+			if !a.applies("janus/internal/runtime") || !a.applies("janus/internal/core") {
+				t.Error("nilness should apply to internal/runtime and internal/core")
+			}
+		case "lockcheck", "errdrop", "mutexcopy", "deferloop", "layercheck",
+			"hotalloc", "deadstore", "staleallow":
 			if !a.applies("janus/cmd/janus") || !a.applies("janus/internal/server") {
 				t.Errorf("%s should apply everywhere", a.Name)
 			}
+		}
+	}
+}
+
+// renderDiags joins diagnostics into the exact byte stream the CLI would
+// print, for whole-output comparisons.
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}
+
+// TestRunAllDeterminism is the scheduling-shuffle regression test: RunAll
+// analyzes packages on a worker pool, so its output must be byte-identical
+// across repeated runs and across any permutation of the input package
+// order. Each iteration rotates and reverses the package list to exercise
+// different orderings without randomness.
+func TestRunAllDeterminism(t *testing.T) {
+	pkgs, err := newTestLoader(t).LoadTree(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := func() []*Analyzer {
+		dr := DetRand()
+		dr.Paths = []string{"internal/server"}
+		return []*Analyzer{
+			FloatCmp(), dr, LockCheck(), ErrDrop(), MutexCopy(), CtxLeak(),
+			DeferLoop(), LockOrder(), HotAlloc(), CtxLeakIP(),
+			Nilness(), DeadStore(), StaleAllow(),
+		}
+	}
+	base := renderDiags(RunAll(pkgs, suite()))
+	if base == "" {
+		t.Fatal("fixture tree produced no diagnostics; determinism test is vacuous")
+	}
+	for i := 1; i <= 4; i++ {
+		perm := make([]*Package, len(pkgs))
+		copy(perm, pkgs[i:])
+		copy(perm[len(pkgs)-i:], pkgs[:i]) // rotate by i
+		if i%2 == 0 {                      // and reverse every other round
+			for l, r := 0, len(perm)-1; l < r; l, r = l+1, r-1 {
+				perm[l], perm[r] = perm[r], perm[l]
+			}
+		}
+		if got := renderDiags(RunAll(perm, suite())); got != base {
+			t.Fatalf("RunAll output depends on package order (permutation %d):\ngot:\n%s\nwant:\n%s", i, got, base)
 		}
 	}
 }

@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is januslint's incremental mode: an on-disk diagnostic cache
+// keyed by content hashes, so a warm run over an unchanged tree replays
+// its findings without parsing or type-checking a single file.
+//
+// Every package gets an action key
+//
+//	H(suite version, import path, file names+content hashes,
+//	  action keys of its module-local imports)
+//
+// so a package's key changes exactly when its own sources, the analyzer
+// suite, or anything it (transitively) imports within the module changes.
+// The suite version folds in the analyzer composition, layers.json, and —
+// when the analyzed module is janus itself — the januslint implementation
+// sources, so editing an analyzer invalidates the self-host cache even
+// though the analyzer's name and scope stay the same.
+//
+// Two storage tiers mirror the two kinds of analyzers:
+//
+//   - per-package entries hold the local findings of intraprocedural
+//     analyzers (plus malformed-allow reports) and the allow-directive
+//     keys those findings consumed; they are reusable whenever that one
+//     action key still matches.
+//   - a single global entry holds the findings of whole-program analyzers
+//     (those with Prepare: lockorder, hotalloc, ctxleakip) and the
+//     staleallow audit, keyed by the hash of every action key — any
+//     change anywhere invalidates them, because a call graph edge or a
+//     suppression hit can span arbitrary packages.
+//
+// A warm run whose global key matches replays everything (the fast path).
+// A dirty run reloads the whole tree — the default suite contains
+// whole-program analyzers, which need every package in memory — but skips
+// re-running the intraprocedural analyzers on clean packages by seeding
+// their cached results into runPackages. Cold, seeded, and warm runs
+// produce byte-identical diagnostics: everything funnels through the same
+// deterministic sort.
+
+// cacheFile is the JSON layout of the single cache file.
+type cacheFile struct {
+	Version  string               `json:"version"`
+	Packages map[string]cachedPkg `json:"packages"`
+	Global   cachedGlobal         `json:"global"`
+}
+
+type cachedPkg struct {
+	Key   string       `json:"key"`
+	Local []Diagnostic `json:"local,omitempty"`
+	Used  []string     `json:"used,omitempty"`
+}
+
+type cachedGlobal struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags,omitempty"`
+}
+
+const cacheFileName = "januslint.json"
+
+// CacheResult is the outcome of a cache-aware run.
+type CacheResult struct {
+	Diags []Diagnostic
+	// FullHit reports that every diagnostic was replayed from the cache
+	// with no parsing or type-checking at all.
+	FullHit bool
+	// Seeded and Analyzed count packages whose intraprocedural findings
+	// were replayed vs recomputed (both zero on a full hit).
+	Seeded, Analyzed int
+}
+
+// pkgPrint is one package's fingerprint: everything the action key hashes.
+type pkgPrint struct {
+	path, dir string
+	fileHash  string   // H(file names and contents)
+	deps      []string // module-local direct imports
+	key       string   // action key, filled in dependency order
+}
+
+// fingerprintTree hashes every package under root plus the module-local
+// closure of their imports, without type-checking anything. It returns
+// the per-package fingerprints (closure included), the in-tree package
+// paths in sorted order, the suite version, and the global key.
+func fingerprintTree(root string, analyzers []*Analyzer) (prints map[string]*pkgPrint, tree []string, version, globalKey string, err error) {
+	modRoot, modPath, err := findModule(root)
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	dirs, err := walkGoDirs(root)
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	pathOf := func(dir string) string {
+		rel, err := filepath.Rel(modRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return dir
+		}
+		if rel == "." {
+			return modPath
+		}
+		return modPath + "/" + filepath.ToSlash(rel)
+	}
+	prints = map[string]*pkgPrint{}
+	var scan func(dir string) (*pkgPrint, error)
+	scan = func(dir string) (*pkgPrint, error) {
+		path := pathOf(dir)
+		if p, ok := prints[path]; ok {
+			return p, nil
+		}
+		p := &pkgPrint{path: path, dir: dir}
+		prints[path] = p
+		names, err := goFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+		}
+		h := sha256.New()
+		fset := token.NewFileSet()
+		seen := map[string]bool{}
+		for _, name := range names {
+			full := filepath.Join(dir, name)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s %d\n", name, len(data))
+			h.Write(data)
+			// Imports-only parse: orders of magnitude cheaper than a full
+			// parse, and all the dependency graph needs.
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[ip] {
+					continue
+				}
+				seen[ip] = true
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					p.deps = append(p.deps, ip)
+				}
+			}
+		}
+		sort.Strings(p.deps)
+		p.fileHash = hex.EncodeToString(h.Sum(nil))
+		// Pull the module-local closure in so dependency hashes reach
+		// packages outside the analyzed subtree too.
+		for _, dep := range p.deps {
+			rel := strings.TrimPrefix(dep, modPath)
+			rel = strings.TrimPrefix(rel, "/")
+			if rel == "" {
+				rel = "."
+			}
+			if _, err := scan(filepath.Join(modRoot, filepath.FromSlash(rel))); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	for _, dir := range dirs {
+		p, err := scan(dir)
+		if err != nil {
+			return nil, nil, "", "", err
+		}
+		tree = append(tree, p.path)
+	}
+	sort.Strings(tree)
+
+	version = suiteVersion(modRoot, analyzers)
+
+	// Action keys in dependency order; topoOrder also rejects cycles,
+	// which would otherwise recurse forever.
+	var all []*pkgPrint
+	for _, p := range prints {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].path < all[j].path })
+	ordered, err := topoOrder(all, func(p *pkgPrint) (string, []string) { return p.path, p.deps })
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	for _, p := range ordered {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n%s\n", version, p.path, p.fileHash)
+		for _, dep := range p.deps {
+			fmt.Fprintf(h, "%s %s\n", dep, prints[dep].key)
+		}
+		p.key = hex.EncodeToString(h.Sum(nil))
+	}
+
+	gh := sha256.New()
+	fmt.Fprintf(gh, "%s\n", version)
+	for _, path := range tree {
+		fmt.Fprintf(gh, "%s %s\n", path, prints[path].key)
+	}
+	globalKey = hex.EncodeToString(gh.Sum(nil))
+	return prints, tree, version, globalKey, nil
+}
+
+// suiteVersion hashes everything about the analyzers that is not in the
+// analyzed sources: the suite composition and scoping, the layer rules,
+// and — when the module under analysis is janus itself — the januslint
+// implementation, so self-host caches invalidate when an analyzer's code
+// changes.
+func suiteVersion(modRoot string, analyzers []*Analyzer) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "januslint-cache-v1\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s|%s|%s\n", a.Name, strings.Join(a.Paths, ","), a.Doc)
+	}
+	if data, err := os.ReadFile(filepath.Join(modRoot, "layers.json")); err == nil {
+		fmt.Fprintf(h, "layers.json %d\n", len(data))
+		h.Write(data)
+	}
+	if dirs, err := walkGoDirs(filepath.Join(modRoot, "internal", "analysis")); err == nil {
+		for _, dir := range dirs {
+			names, err := goFileNames(dir)
+			if err != nil {
+				continue
+			}
+			for _, name := range names {
+				if data, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+					fmt.Fprintf(h, "%s/%s %d\n", dir, name, len(data))
+					h.Write(data)
+				}
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// readCache loads the cache file from dir, returning nil on any problem —
+// a missing or corrupt cache is simply cold.
+func readCache(dir string) *cacheFile {
+	data, err := os.ReadFile(filepath.Join(dir, cacheFileName))
+	if err != nil {
+		return nil
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil
+	}
+	return &cf
+}
+
+// writeCache persists the cache file; failures are reported so CI can
+// notice a broken cache volume, but the diagnostics already computed are
+// unaffected.
+func writeCache(dir string, cf *cacheFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cf, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, cacheFileName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, cacheFileName))
+}
+
+// RunAllCached analyzes every package under root like RunAll over
+// LoadTree, consulting and refreshing the diagnostic cache in cacheDir.
+// The diagnostics are byte-identical to an uncached run's.
+func RunAllCached(root, cacheDir string, analyzers []*Analyzer) (*CacheResult, error) {
+	prints, tree, version, globalKey, err := fingerprintTree(root, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	cf := readCache(cacheDir)
+	if cf != nil && cf.Version == version && cf.Global.Key == globalKey {
+		if diags, ok := replayAll(cf, tree); ok {
+			return &CacheResult{Diags: diags, FullHit: true}, nil
+		}
+	}
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadTree(root)
+	if err != nil {
+		return nil, err
+	}
+	seeds := map[*Package]*replaySeed{}
+	if cf != nil && cf.Version == version {
+		for _, p := range pkgs {
+			fp := prints[p.Path]
+			if fp == nil {
+				continue
+			}
+			if ce, ok := cf.Packages[p.Path]; ok && ce.Key == fp.key {
+				seeds[p] = &replaySeed{local: ce.Local, used: ce.Used}
+			}
+		}
+	}
+	results := runPackages(pkgs, analyzers, seeds)
+
+	nf := &cacheFile{
+		Version:  version,
+		Packages: map[string]cachedPkg{},
+		Global:   cachedGlobal{Key: globalKey},
+	}
+	var out []Diagnostic
+	for i, r := range results {
+		p := pkgs[i]
+		out = append(out, r.all()...)
+		fp := prints[p.Path]
+		if fp == nil {
+			continue // outside the fingerprinted set; never cached
+		}
+		local := append([]Diagnostic(nil), r.local...)
+		sortDiags(local)
+		used := append([]string(nil), r.usedLocal...)
+		sort.Strings(used)
+		nf.Packages[p.Path] = cachedPkg{Key: fp.key, Local: local, Used: dedupStrings(used)}
+		nf.Global.Diags = append(nf.Global.Diags, r.global...)
+		nf.Global.Diags = append(nf.Global.Diags, r.stale...)
+	}
+	sortDiags(out)
+	sortDiags(nf.Global.Diags)
+	if err := writeCache(cacheDir, nf); err != nil {
+		return nil, fmt.Errorf("analysis: writing cache: %w", err)
+	}
+	return &CacheResult{Diags: out, Seeded: len(seeds), Analyzed: len(pkgs) - len(seeds)}, nil
+}
+
+// replayAll reconstructs the diagnostics of a fully warm run: the cached
+// local findings of every in-tree package plus the global section.
+func replayAll(cf *cacheFile, tree []string) ([]Diagnostic, bool) {
+	var out []Diagnostic
+	for _, path := range tree {
+		ce, ok := cf.Packages[path]
+		if !ok {
+			return nil, false // cache predates this package: treat as cold
+		}
+		out = append(out, ce.Local...)
+	}
+	out = append(out, cf.Global.Diags...)
+	sortDiags(out)
+	return out, true
+}
+
+func dedupStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

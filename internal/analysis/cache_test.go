@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cacheTestSuite mixes intraprocedural, SSA-backed, whole-program, and
+// audit analyzers so both cache tiers are exercised.
+func cacheTestSuite() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp(), ErrDrop(), Nilness(), DeadStore(), LockOrder(), StaleAllow(),
+	}
+}
+
+// TestCacheColdWarmIdentical proves the cache contract on the fixture
+// tree: a cold run, a fully warm run, and a plain uncached run all emit
+// byte-identical diagnostics, and the warm run is a full hit.
+func TestCacheColdWarmIdentical(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	cacheDir := t.TempDir()
+
+	pkgs, err := newTestLoader(t).LoadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached := renderDiags(RunAll(pkgs, cacheTestSuite()))
+	if uncached == "" {
+		t.Fatal("fixture tree produced no diagnostics; cache test is vacuous")
+	}
+
+	cold, err := RunAllCached(root, cacheDir, cacheTestSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FullHit {
+		t.Error("first run against an empty cache reported a full hit")
+	}
+	if got := renderDiags(cold.Diags); got != uncached {
+		t.Errorf("cold cached run differs from uncached run:\ncached:\n%s\nuncached:\n%s", got, uncached)
+	}
+
+	warm, err := RunAllCached(root, cacheDir, cacheTestSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FullHit {
+		t.Error("second run over an unchanged tree was not a full cache hit")
+	}
+	if got := renderDiags(warm.Diags); got != uncached {
+		t.Errorf("warm run differs from uncached run:\nwarm:\n%s\nuncached:\n%s", got, uncached)
+	}
+}
+
+// writeCacheModule lays out a mini module with two packages where b
+// imports a, returning the module root.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module cachemod\n\ngo 1.22\n")
+	write("a/a.go", `package a
+
+func Eq(x, y float64) bool {
+	return x == y
+}
+`)
+	write("b/b.go", `package b
+
+import "cachemod/a"
+
+func Same(x float64) bool {
+	return a.Eq(x, x)
+}
+`)
+	return mod
+}
+
+// TestCacheInvalidation proves the action keys react to edits: touching a
+// leaf re-analyzes only it, touching a dependency re-analyzes its
+// dependents too, and diagnostics always match a fresh uncached run.
+func TestCacheInvalidation(t *testing.T) {
+	mod := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	suite := func() []*Analyzer { return []*Analyzer{FloatCmp(), DeadStore(), StaleAllow()} }
+
+	run := func() *CacheResult {
+		t.Helper()
+		res, err := RunAllCached(mod, cacheDir, suite())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fresh := func() string {
+		t.Helper()
+		l, err := NewLoader(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.LoadTree(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderDiags(RunAll(pkgs, suite()))
+	}
+
+	cold := run()
+	if cold.FullHit || cold.Analyzed != 2 {
+		t.Fatalf("cold run: FullHit=%v Analyzed=%d, want fresh analysis of 2 packages", cold.FullHit, cold.Analyzed)
+	}
+	if got := renderDiags(cold.Diags); !strings.Contains(got, "floatcmp") {
+		t.Fatalf("cold run missed the seeded floatcmp finding:\n%s", got)
+	}
+
+	if warm := run(); !warm.FullHit {
+		t.Error("unchanged module was not a full hit")
+	}
+
+	// Edit the leaf: only b re-analyzes.
+	bPath := filepath.Join(mod, "b", "b.go")
+	data, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(data), "a.Eq(x, x)", "a.Eq(x, x+1) == (x == x)", 1)
+	if edited == string(data) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(bPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := run()
+	if after.FullHit || after.Seeded != 1 || after.Analyzed != 1 {
+		t.Errorf("after leaf edit: FullHit=%v Seeded=%d Analyzed=%d, want 1 seeded + 1 analyzed", after.FullHit, after.Seeded, after.Analyzed)
+	}
+	if got, want := renderDiags(after.Diags), fresh(); got != want {
+		t.Errorf("seeded run differs from fresh run:\nseeded:\n%s\nfresh:\n%s", got, want)
+	}
+
+	// Edit the dependency: its dependent's action key changes with it.
+	aPath := filepath.Join(mod, "a", "a.go")
+	data, err = os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(data, []byte("\nfunc Extra() int { return 1 }\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ripple := run()
+	if ripple.Seeded != 0 || ripple.Analyzed != 2 {
+		t.Errorf("after dependency edit: Seeded=%d Analyzed=%d, want both re-analyzed", ripple.Seeded, ripple.Analyzed)
+	}
+	if got, want := renderDiags(ripple.Diags), fresh(); got != want {
+		t.Errorf("ripple run differs from fresh run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	if warm := run(); !warm.FullHit {
+		t.Error("module unchanged since last run was not a full hit")
+	}
+}
+
+// TestCacheSuiteVersion proves a different analyzer suite never replays
+// another suite's findings.
+func TestCacheSuiteVersion(t *testing.T) {
+	mod := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	if _, err := RunAllCached(mod, cacheDir, []*Analyzer{FloatCmp()}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAllCached(mod, cacheDir, []*Analyzer{FloatCmp(), ErrDrop()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullHit || res.Seeded != 0 {
+		t.Errorf("changed suite replayed cached results: FullHit=%v Seeded=%d", res.FullHit, res.Seeded)
+	}
+}
+
+// TestCacheCorrupt proves a mangled cache file degrades to a cold run.
+func TestCacheCorrupt(t *testing.T) {
+	mod := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	if _, err := RunAllCached(mod, cacheDir, []*Analyzer{FloatCmp()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, cacheFileName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAllCached(mod, cacheDir, []*Analyzer{FloatCmp()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullHit {
+		t.Error("corrupt cache reported a full hit")
+	}
+	if res2, err := RunAllCached(mod, cacheDir, []*Analyzer{FloatCmp()}); err != nil || !res2.FullHit {
+		t.Errorf("cache did not recover after rewrite: err=%v", err)
+	}
+}

@@ -58,7 +58,7 @@ func CtxLeak() *Analyzer {
 			}
 			if op := firstBlockingOp(pass.Pkg.Info, body); op != nil {
 				pass.Reportf(gs.Pos(),
-					"goroutine can block forever (%s at line %d) with no context.Context or done channel reaching it: plumb a ctx and select on ctx.Done(), or annotate //janus:allow ctxleak <reason>",
+					"goroutine can block forever (%s at line %d) with no context.Context or done channel reaching it: plumb a ctx and select on ctx.Done(), or annotate //janus:allow(ctxleak): <reason>",
 					blockingOpDesc(op), pass.Pkg.Fset.Position(op.Pos()).Line)
 			}
 			return true

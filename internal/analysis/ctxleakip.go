@@ -98,7 +98,7 @@ func computeCtxLeakIP(g *callgraph.Graph, pkgs []*Package) map[*types.Package][]
 						byPkg[p.Types] = append(byPkg[p.Types], finding{
 							pos: gs.Pos(),
 							msg: "goroutine can block forever (" + blockingOpDesc(op) + " in " + friendlyName(fset, bn) +
-								") with no context.Context or done channel reaching its call closure: plumb a ctx and select on ctx.Done(), or annotate //janus:allow ctxleakip <reason>",
+								") with no context.Context or done channel reaching its call closure: plumb a ctx and select on ctx.Done(), or annotate //janus:allow(ctxleakip): <reason>",
 						})
 						return true
 					}

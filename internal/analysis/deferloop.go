@@ -45,7 +45,7 @@ func DeferLoop() *Analyzer {
 						}
 						if name, ok := releaseCallName(ds.Call); ok {
 							pass.Reportf(ds.Pos(),
-								"defer %s inside a loop releases only at function return: call it at the end of the iteration or hoist the body into a function, or annotate //janus:allow deferloop <reason>",
+								"defer %s inside a loop releases only at function return: call it at the end of the iteration or hoist the body into a function, or annotate //janus:allow(deferloop): <reason>",
 								name)
 						}
 					})

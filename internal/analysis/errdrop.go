@@ -14,8 +14,9 @@ import (
 // Exemptions, to keep the signal high:
 //   - fmt.Print/Printf/Println, and fmt.Fprint* aimed statically at
 //     os.Stdout or os.Stderr: best-effort process diagnostics.
-//   - fmt.Fprint* into a *strings.Builder or *bytes.Buffer, and methods on
-//     those types: their writes are documented to never fail.
+//   - fmt.Fprint* into a *strings.Builder, *bytes.Buffer, or hash.Hash,
+//     and write methods on those types: their writes are documented to
+//     never fail.
 func ErrDrop() *Analyzer {
 	a := &Analyzer{
 		Name: "errdrop",
@@ -58,7 +59,7 @@ func ErrDrop() *Analyzer {
 				return true
 			}
 			pass.Reportf(call.Pos(),
-				"error result of %s is silently discarded: handle it, assign it to _, or annotate //janus:allow errdrop <reason>",
+				"error result of %s is silently discarded: handle it, assign it to _, or annotate //janus:allow(errdrop): <reason>",
 				types.ExprString(call.Fun))
 			return true
 		})
@@ -83,7 +84,14 @@ func infallibleWrite(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	if recv := sig.Recv(); recv != nil {
-		return isMemBuffer(recv.Type())
+		// Interface methods reached through embedding resolve to the
+		// embedded declaration (hash.Hash's Write is io.Writer's), so
+		// check the receiver expression's static type as well.
+		if isInfallibleWriter(recv.Type()) {
+			return true
+		}
+		tv, ok := info.Types[sel.X]
+		return ok && isInfallibleWriter(tv.Type)
 	}
 	if fn.Pkg().Path() != "fmt" {
 		return false
@@ -95,7 +103,7 @@ func infallibleWrite(info *types.Info, call *ast.CallExpr) bool {
 		if len(call.Args) == 0 {
 			return false
 		}
-		return isMemBuffer(info.Types[call.Args[0]].Type) || isStdStream(info, call.Args[0])
+		return isInfallibleWriter(info.Types[call.Args[0]].Type) || isStdStream(info, call.Args[0])
 	}
 	return false
 }
@@ -110,7 +118,10 @@ func isStdStream(info *types.Info, e ast.Expr) bool {
 	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os"
 }
 
-func isMemBuffer(t types.Type) bool {
+// isInfallibleWriter matches types whose Write is documented to never
+// return an error: in-memory buffers and hash.Hash digests.
+func isInfallibleWriter(t types.Type) bool {
 	s := t.String()
-	return strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer")
+	return strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer") ||
+		strings.HasSuffix(s, "hash.Hash")
 }

@@ -13,7 +13,7 @@ import (
 // comparisons must go through an epsilon helper. The rare intentional
 // exact comparisons (sparsity guards that skip arithmetic on values that
 // are exactly zero by construction, zero-value config sentinels) must be
-// annotated //janus:allow floatcmp with a reason.
+// annotated //janus:allow(floatcmp): with a reason.
 func FloatCmp() *Analyzer {
 	a := &Analyzer{
 		Name: "floatcmp",
@@ -35,7 +35,7 @@ func FloatCmp() *Analyzer {
 				return true
 			}
 			pass.Reportf(be.OpPos,
-				"floating-point %s comparison: use an epsilon helper, or annotate //janus:allow floatcmp <reason> if exact equality is intended",
+				"floating-point %s comparison: use an epsilon helper, or annotate //janus:allow(floatcmp): <reason> if exact equality is intended",
 				be.Op)
 			return true
 		})

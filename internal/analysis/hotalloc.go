@@ -33,7 +33,7 @@ const hotpathPrefix = "//janus:hotpath"
 // The check is deliberately an over-approximation — escape analysis may
 // keep any of these on the stack — so a finding means "justify or
 // restructure", not "this is a heap allocation": suppress intended sites
-// with //janus:allow hotalloc <reason>. Soundness limits mirror the call
+// with //janus:allow(hotalloc): <reason>. Soundness limits mirror the call
 // graph's: standard-library bodies are opaque, so allocations inside them
 // (fmt's formatting machinery, say) are attributed only to the visible
 // call site; and boxing through composite-literal elements is not modeled.

@@ -201,7 +201,7 @@ func runLayerCheck(pass *Pass, rules *LayerRules) {
 			if to == "" {
 				if strings.HasPrefix(path, internalPrefix) {
 					pass.Reportf(imp.Pos(),
-						"import %s is not declared in layers.json: add it to a layer so the architecture contract stays total, or annotate //janus:allow layercheck <reason>",
+						"import %s is not declared in layers.json: add it to a layer so the architecture contract stays total, or annotate //janus:allow(layercheck): <reason>",
 						path)
 				}
 				continue
@@ -215,7 +215,7 @@ func runLayerCheck(pass *Pass, rules *LayerRules) {
 					allowed = strings.Join(rules.Allow[from], ", ")
 				}
 				pass.Reportf(imp.Pos(),
-					"layer %s (package %s) must not import layer %s (%s): allowed layers are %s, or annotate //janus:allow layercheck <reason>",
+					"layer %s (package %s) must not import layer %s (%s): allowed layers are %s, or annotate //janus:allow(layercheck): <reason>",
 					from, pass.Pkg.Path, to, path, allowed)
 			}
 		}

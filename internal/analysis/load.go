@@ -9,8 +9,12 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -32,12 +36,66 @@ type Package struct {
 // everything else (the standard library) goes through the go/importer
 // source importer. Loaded packages are cached, so one Loader amortizes the
 // cost of type-checking shared dependencies across many targets.
+//
+// A Loader is safe for concurrent use: LoadTree parses all packages in
+// parallel and type-checks them in dependency order on a worker pool.
+// Each package is loaded exactly once — concurrent requests for the same
+// import path wait on the first loader's result. The standard-library
+// source importer is not concurrency-safe, so its calls are serialized;
+// module-local packages type-check concurrently once their local
+// dependencies are complete.
 type Loader struct {
 	fset    *token.FileSet
 	modPath string
 	modRoot string
-	std     types.ImporterFrom
-	pkgs    map[string]*Package // keyed by import path
+	std     *stdImporter
+
+	mu   sync.Mutex
+	pkgs map[string]*pkgFuture // keyed by import path
+}
+
+// stdImporter serializes the standard-library source importer, which is
+// not safe for concurrent use.
+type stdImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (s *stdImporter) importFrom(path, srcDir string) (*types.Package, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imp.ImportFrom(path, srcDir, 0)
+}
+
+// pkgFuture is the once-per-path load slot: the requester that wins the
+// owner claim fills it, everyone else waits on done. The owner is the
+// claiming goroutine's id, which detects import cycles — a chain of
+// module-local imports runs entirely on one goroutine, so re-entering a
+// path this goroutine is already loading means the imports loop. Claiming
+// (rather than always waiting) also keeps a bounded worker pool
+// deadlock-free: a checking chain that needs a package whose worker has
+// not started simply loads it inline.
+type pkgFuture struct {
+	owner atomic.Int64
+	done  chan struct{}
+	pkg   *Package
+	err   error
+}
+
+// goid extracts the current goroutine's id from the runtime stack header
+// ("goroutine N [running]:"). The stdlib exposes no direct accessor; the
+// header format has been stable for the life of the Go project, and the
+// id is used only to detect same-goroutine re-entry.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseInt(s[:i], 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
 }
 
 // NewLoader builds a Loader for the module rooted at (or above) dir.
@@ -55,8 +113,8 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:    fset,
 		modPath: modPath,
 		modRoot: root,
-		std:     std,
-		pkgs:    map[string]*Package{},
+		std:     &stdImporter{imp: std},
+		pkgs:    map[string]*pkgFuture{},
 	}, nil
 }
 
@@ -102,7 +160,7 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 		}
 		return p.Types, nil
 	}
-	return l.std.ImportFrom(path, l.modRoot, 0)
+	return l.std.importFrom(path, l.modRoot)
 }
 
 // moduleRel reports whether path is inside the module, returning the
@@ -119,11 +177,20 @@ func (l *Loader) moduleRel(path string) (string, bool) {
 
 // LoadDir loads and type-checks the package in dir.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	abs, err := filepath.Abs(dir)
+	path, abs, err := l.dirPath(dir)
 	if err != nil {
 		return nil, err
 	}
-	path := abs
+	return l.load(path, abs)
+}
+
+// dirPath resolves a directory to its import path and absolute location.
+func (l *Loader) dirPath(dir string) (path, abs string, err error) {
+	abs, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	path = abs
 	if rel, err := filepath.Rel(l.modRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
 		if rel == "." {
 			path = l.modPath
@@ -131,30 +198,46 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			path = l.modPath + "/" + filepath.ToSlash(rel)
 		}
 	}
-	return l.load(path, abs)
+	return path, abs, nil
 }
 
-// load parses and type-checks the package at dir, caching by import path.
+// load returns the package for path, loading it if no one else has: the
+// caller claims the path's future if it is unclaimed, otherwise waits for
+// the claimant's result.
 func (l *Loader) load(path, dir string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		if p == nil {
+	me := goid()
+	l.mu.Lock()
+	f, ok := l.pkgs[path]
+	if !ok {
+		f = &pkgFuture{done: make(chan struct{})}
+		l.pkgs[path] = f
+	}
+	l.mu.Unlock()
+	if f.owner.Load() == me {
+		select {
+		case <-f.done: // already complete: a plain cache hit
+			return f.pkg, f.err
+		default:
 			return nil, fmt.Errorf("analysis: import cycle through %s", path)
 		}
-		return p, nil
 	}
-	l.pkgs[path] = nil // cycle marker
+	if f.owner.CompareAndSwap(0, me) {
+		f.pkg, f.err = l.parseAndCheck(path, dir, nil)
+		close(f.done)
+		return f.pkg, f.err
+	}
+	<-f.done
+	return f.pkg, f.err
+}
 
-	entries, err := os.ReadDir(dir)
+// parseFiles parses the non-test Go files of dir, with comments.
+func (l *Loader) parseFiles(dir string) ([]*ast.File, error) {
+	names, err := goFileNames(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
-			continue
-		}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
@@ -164,11 +247,42 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
 	}
+	return files, nil
+}
 
+// goFileNames lists the non-test Go files of dir in name order.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// parseAndCheck parses (unless pre-parsed files are supplied) and
+// type-checks one package.
+func (l *Loader) parseAndCheck(path, dir string, files []*ast.File) (*Package, error) {
+	if files == nil {
+		var err error
+		files, err = l.parseFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: l}
@@ -176,20 +290,20 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = p
-	return p, nil
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// LoadTree loads every package under root (recursively), skipping testdata,
-// hidden, and underscore-prefixed directories. Results are sorted by import
-// path.
-func (l *Loader) LoadTree(root string) ([]*Package, error) {
+// walkGoDirs returns every directory under root holding non-test Go files,
+// skipping testdata, hidden, and underscore-prefixed directories, in
+// sorted order. The diagnostic cache walks the same set to fingerprint a
+// tree without loading it.
+func walkGoDirs(root string) ([]string, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
 	var dirs []string
+	seen := map[string]bool{}
 	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -201,9 +315,12 @@ func (l *Loader) LoadTree(root string) ([]*Package, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") && !strings.HasPrefix(d.Name(), ".") {
+			// Subdirectories interleave with files in WalkDir's lexical
+			// order, so a last-element check is not enough to dedup.
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}
@@ -213,14 +330,205 @@ func (l *Loader) LoadTree(root string) ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	pkgs := make([]*Package, 0, len(dirs))
-	for _, dir := range dirs {
-		p, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	return dirs, nil
+}
+
+// localImports returns the module-local import paths of already-parsed
+// files, sorted and deduplicated.
+func (l *Loader) localImports(files []*ast.File) []string {
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, ok := l.moduleRel(p); ok && !seen[p] {
+				seen[p] = true
+			}
 		}
-		pkgs = append(pkgs, p)
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadTree loads every package under root (recursively), skipping testdata,
+// hidden, and underscore-prefixed directories. Results are sorted by import
+// path.
+//
+// The tree loads in three phases: every package parses concurrently (the
+// shared token.FileSet is internally locked), the module-local import
+// graph of the parsed files is topologically sorted, and packages
+// type-check on a worker pool as soon as their local dependencies are
+// complete. Module-local dependencies outside the tree load on demand
+// through the importer, exactly once.
+func (l *Loader) LoadTree(root string) ([]*Package, error) {
+	dirs, err := walkGoDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type parsedPkg struct {
+		path, dir string
+		files     []*ast.File
+		deps      []string
+		err       error
+	}
+	parsed := make([]*parsedPkg, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pp := &parsedPkg{dir: dir}
+			pp.path, _, pp.err = l.dirPath(dir)
+			if pp.err == nil {
+				pp.files, pp.err = l.parseFiles(dir)
+			}
+			if pp.err == nil {
+				pp.deps = l.localImports(pp.files)
+			}
+			parsed[i] = pp
+		}(i, dir)
+	}
+	wg.Wait()
+	inTree := map[string]*parsedPkg{}
+	for _, pp := range parsed {
+		if pp.err != nil {
+			return nil, pp.err
+		}
+		inTree[pp.path] = pp
+	}
+
+	// Topological order over the in-tree dependency edges; a cycle among
+	// them is reported here rather than deadlocking the pool below.
+	order, err := topoOrder(parsed, func(pp *parsedPkg) (string, []string) {
+		var deps []string
+		for _, d := range pp.deps {
+			if _, ok := inTree[d]; ok {
+				deps = append(deps, d)
+			}
+		}
+		return pp.path, deps
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-register a future per in-tree package so dependents can wait on
+	// it, then type-check each as soon as its local deps resolve. The
+	// checking goroutine chains through ImportFrom for out-of-tree local
+	// deps, which load once via the same future map.
+	futures := map[string]*pkgFuture{}
+	l.mu.Lock()
+	for _, pp := range parsed {
+		if f, ok := l.pkgs[pp.path]; ok {
+			futures[pp.path] = f // already loaded (or loading) earlier
+			continue
+		}
+		f := &pkgFuture{done: make(chan struct{})}
+		l.pkgs[pp.path] = f
+		futures[pp.path] = f
+	}
+	l.mu.Unlock()
+
+	var cwg sync.WaitGroup
+	for _, pp := range order {
+		f := futures[pp.path]
+		select {
+		case <-f.done:
+			continue // loaded before this LoadTree call
+		default:
+		}
+		cwg.Add(1)
+		go func(pp *parsedPkg, f *pkgFuture) {
+			defer cwg.Done()
+			for _, d := range pp.deps {
+				if df, ok := futures[d]; ok {
+					<-df.done
+					if df.err != nil {
+						if f.owner.CompareAndSwap(0, goid()) {
+							f.err = df.err
+							close(f.done)
+						}
+						return
+					}
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Claim the future; losing means a checking chain already
+			// loaded this package inline through ImportFrom.
+			if !f.owner.CompareAndSwap(0, goid()) {
+				return
+			}
+			f.pkg, f.err = l.parseAndCheck(pp.path, pp.dir, pp.files)
+			close(f.done)
+		}(pp, f)
+	}
+	cwg.Wait()
+
+	pkgs := make([]*Package, 0, len(parsed))
+	for _, pp := range parsed {
+		f := futures[pp.path]
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		pkgs = append(pkgs, f.pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// topoOrder sorts items so that dependencies precede dependents, failing
+// on cycles.
+func topoOrder[T any](items []T, edges func(T) (string, []string)) ([]T, error) {
+	byPath := map[string]T{}
+	deps := map[string][]string{}
+	var paths []string
+	for _, it := range items {
+		p, ds := edges(it)
+		byPath[p] = it
+		deps[p] = ds
+		paths = append(paths, p)
+	}
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // done
+	)
+	state := map[string]int{}
+	var out []T
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		case black:
+			return nil
+		}
+		state[p] = gray
+		for _, d := range deps[p] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		out = append(out, byPath[p])
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -16,7 +16,7 @@ import (
 // Two escape hatches exist for intentional lock-free access: methods whose
 // name ends in "Locked" (the documented caller-holds-lock convention) are
 // skipped entirely, and individual accesses can carry
-// //janus:allow lockcheck <reason>.
+// //janus:allow(lockcheck): <reason>.
 func LockCheck() *Analyzer {
 	a := &Analyzer{
 		Name: "lockcheck",
@@ -135,7 +135,7 @@ func LockCheck() *Analyzer {
 				}
 				for _, acc := range accesses {
 					pass.Reportf(acc.sel.Sel.Pos(),
-						"%s.%s accesses %s (guarded by %s) without holding the lock: lock %s, add a Locked name suffix, or annotate //janus:allow lockcheck <reason>",
+						"%s.%s accesses %s (guarded by %s) without holding the lock: lock %s, add a Locked name suffix, or annotate //janus:allow(lockcheck): <reason>",
 						named.Obj().Name(), fd.Name.Name, acc.name, g.mutexName, g.mutexName)
 				}
 			}

@@ -260,7 +260,9 @@ func replayLockOrder(g *callgraph.Graph, n *callgraph.Node, fset *token.FileSet,
 			}
 		}
 		for _, x := range b.Nodes {
-			held = step(held, x, true)
+			// The loop-carried set feeds the next node's report; the final
+			// iteration's value is intentionally discarded.
+			held = step(held, x, true) //janus:allow(deadstore): stepping has the reporting side effect; the last value is unused by design
 		}
 	}
 }

@@ -94,7 +94,7 @@ func mutexCopyScan(pass *Pass, b *cfg.Block, in lockedFact, report bool) lockedF
 		}
 		if report {
 			pass.Reportf(e.Pos(),
-				"%s copies %s (type %s contains a sync.Mutex) after first lock use: use a pointer, or annotate //janus:allow mutexcopy <reason>",
+				"%s copies %s (type %s contains a sync.Mutex) after first lock use: use a pointer, or annotate //janus:allow(mutexcopy): <reason>",
 				what, types.ExprString(e), t)
 		}
 	}
@@ -103,7 +103,7 @@ func mutexCopyScan(pass *Pass, b *cfg.Block, in lockedFact, report bool) lockedF
 		if t := exprType(info, r.Value); t != nil && containsMutex(t, nil) {
 			if report {
 				pass.Reportf(r.Value.Pos(),
-					"range copies each element into %s (type %s contains a sync.Mutex): iterate by index or store pointers, or annotate //janus:allow mutexcopy <reason>",
+					"range copies each element into %s (type %s contains a sync.Mutex): iterate by index or store pointers, or annotate //janus:allow(mutexcopy): <reason>",
 					types.ExprString(r.Value), t)
 			}
 		}

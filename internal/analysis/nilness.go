@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"janus/internal/analysis/cfg"
+	"janus/internal/analysis/ssa"
+)
+
+// Nilness returns the nilness analyzer: it reports dereferences that are
+// certain to panic — a pointer, map, or function value that is provably
+// nil on every feasible path reaching the use. In Default() it is scoped
+// to internal/runtime, internal/server, internal/dataplane, and
+// internal/core: the layers where a nil dereference takes the control
+// plane down with it.
+//
+// The analysis is SSA-based and deliberately must-nil: a value is reported
+// only when its reaching definition is nil (a nil literal, an
+// uninitialized pointer/map/func declaration, or a phi all of whose
+// operands are nil) *and* no branch on the path has proven it non-nil.
+// Conditions of the form x == nil / x != nil refine the fact along the
+// corresponding control-flow edge, so the idiomatic
+//
+//	if p == nil { return }
+//	p.f = 1
+//
+// is clean, while
+//
+//	if p == nil { p.f = 1 }
+//
+// is a finding. May-nil values (a phi mixing nil and non-nil, a call
+// result) are never reported — the analyzer prefers silence over noise.
+//
+// Reported dereference shapes: *p, field access p.f through a nil
+// pointer, a call of a nil function value, and writes to elements of a
+// nil map or slice.
+func Nilness() *Analyzer {
+	a := &Analyzer{
+		Name: "nilness",
+		Doc:  "flags dereferences of provably nil pointers, maps, and function values",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fd := range funcDecls(pass.Pkg.Files) {
+			fn := ssa.Build(pass.Pkg.Info, fd.typ, fd.recv, fd.body)
+			runNilness(pass, fn)
+		}
+	}
+	return a
+}
+
+// nilFact is the three-point lattice bottom < {isNil, nonNil} < mixed.
+type nilFact uint8
+
+const (
+	nilUnset nilFact = iota // no information yet (lattice bottom)
+	isNil
+	nonNil
+	nilMixed // could be either (lattice top)
+)
+
+func joinNil(a, b nilFact) nilFact {
+	switch {
+	case a == nilUnset:
+		return b
+	case b == nilUnset:
+		return a
+	case a == b:
+		return a
+	default:
+		return nilMixed
+	}
+}
+
+// nilable reports whether t is a type whose zero value is nil and whose
+// dereference-like uses can panic: pointers, maps, functions, slices,
+// interfaces, and channels.
+func nilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Signature, *types.Slice,
+		*types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// nilness computes the static nilness of every SSA definition with a
+// fixpoint over the def graph (copies and phis propagate, everything else
+// is immediate).
+func nilness(info *types.Info, fn *ssa.Func) map[*ssa.Def]nilFact {
+	val := map[*ssa.Def]nilFact{}
+	base := func(d *ssa.Def) nilFact {
+		switch d.Kind {
+		case ssa.Zero:
+			if nilable(d.Var.Type()) {
+				return isNil
+			}
+			return nilMixed
+		case ssa.Assign:
+			if d.RHS == nil {
+				return nilMixed // tuple, compound, ++/--: value unknown
+			}
+			return exprNilness(info, fn, d.RHS, val)
+		case ssa.Range:
+			return nilMixed
+		case ssa.Param:
+			return nilMixed
+		case ssa.PhiDef:
+			if d.Incomplete {
+				return nilMixed
+			}
+			f := nilUnset
+			for _, op := range d.Ops {
+				f = joinNil(f, val[op])
+			}
+			return f
+		}
+		return nilMixed
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range fn.Defs {
+			if nf := base(d); nf != val[d] {
+				val[d] = nf
+				changed = true
+			}
+		}
+	}
+	return val
+}
+
+// exprNilness classifies a right-hand side: nil literal, definitely
+// non-nil constructor, a copy of a tracked variable, or unknown.
+func exprNilness(info *types.Info, fn *ssa.Func, e ast.Expr, val map[*ssa.Def]nilFact) nilFact {
+	switch e := astUnparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			if _, ok := info.Uses[e].(*types.Nil); ok {
+				return isNil
+			}
+		}
+		if d := fn.UseDef[e]; d != nil {
+			return val[d]
+		}
+		return nilMixed
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonNil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nonNil
+	case *ast.CallExpr:
+		if id, ok := astUnparen(e.Fun).(*ast.Ident); ok {
+			switch info.Uses[id] {
+			case types.Universe.Lookup("make"), types.Universe.Lookup("new"):
+				return nonNil
+			}
+		}
+	}
+	return nilMixed
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// branchRefinement inspects a block's trailing condition: if it is a
+// comparison of a tracked variable against nil, the true and false
+// successor edges learn opposite facts.
+type refinement struct {
+	def  *ssa.Def
+	fact nilFact // fact on the true edge; the false edge gets the opposite
+}
+
+// condRefinement extracts a nil-comparison refinement from the last node
+// of a block, if any.
+func condRefinement(info *types.Info, fn *ssa.Func, b *cfgBlock) *refinement {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	be, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil
+	}
+	var idExpr ast.Expr
+	switch {
+	case isNilIdent(info, be.Y):
+		idExpr = be.X
+	case isNilIdent(info, be.X):
+		idExpr = be.Y
+	default:
+		return nil
+	}
+	id, ok := astUnparen(idExpr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	d := fn.UseDef[id]
+	if d == nil {
+		return nil
+	}
+	fact := isNil
+	if be.Op == token.NEQ {
+		fact = nonNil
+	}
+	return &refinement{def: d, fact: fact}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := astUnparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func sameRefMap(a, b map[*ssa.Def]nilFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func opposite(f nilFact) nilFact {
+	switch f {
+	case isNil:
+		return nonNil
+	case nonNil:
+		return isNil
+	}
+	return nilMixed
+}
+
+// runNilness drives the per-function analysis: static def facts, then a
+// forward pass with per-edge branch refinements, then deref checks.
+func runNilness(pass *Pass, fn *ssa.Func) {
+	info := pass.Pkg.Info
+	static := nilness(info, fn)
+
+	// Per-block refinement maps: def -> fact holding at block entry on
+	// every path. Facts merge by agreement; disagreement drops the entry.
+	type refMap map[*ssa.Def]nilFact
+	in := map[*cfgBlock]refMap{}
+	rpo := fn.Graph.ReversePostorder()
+	if len(rpo) == 0 {
+		return
+	}
+	// trueSucc reports whether the edge b->s is the true edge of b's
+	// trailing condition (then/body blocks), falseSucc the false edge.
+	trueEdge := func(s *cfgBlock) bool {
+		return s.Label == "if.then" || s.Label == "for.body"
+	}
+	falseEdge := func(s *cfgBlock) bool {
+		return s.Label == "if.else" || s.Label == "if.join" || s.Label == "for.join"
+	}
+
+	edgeFact := func(b *cfgBlock, s *cfgBlock) refMap {
+		base := in[b]
+		ref := condRefinement(info, fn, b)
+		if ref == nil {
+			return base
+		}
+		var f nilFact
+		switch {
+		case trueEdge(s):
+			f = ref.fact
+		case falseEdge(s):
+			f = opposite(ref.fact)
+		default:
+			return base
+		}
+		out := make(refMap, len(base)+1)
+		for k, v := range base {
+			out[k] = v
+		}
+		out[ref.def] = f
+		return out
+	}
+
+	// Iterate to fixpoint: refinement maps only shrink under merge, so
+	// termination is quick.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var merged refMap
+			first := true
+			for _, p := range b.Preds {
+				if !fn.Dom.Reachable(p) {
+					continue
+				}
+				ef := edgeFact(p, b)
+				if first {
+					merged = make(refMap, len(ef))
+					for k, v := range ef {
+						merged[k] = v
+					}
+					first = false
+					continue
+				}
+				for k, v := range merged {
+					if ev, ok := ef[k]; !ok || ev != v {
+						delete(merged, k)
+					}
+				}
+			}
+			if first {
+				merged = refMap{}
+			}
+			old := in[b]
+			if !sameRefMap(old, merged) {
+				in[b] = merged
+				changed = true
+			}
+		}
+	}
+
+	// Deref checks: a use whose effective fact is isNil is a certain
+	// panic.
+	for _, b := range rpo {
+		facts := in[b]
+		effective := func(id *ast.Ident) (nilFact, *ssa.Def) {
+			d := fn.UseDef[id]
+			if d == nil {
+				return nilMixed, nil
+			}
+			if f, ok := facts[d]; ok {
+				return f, d
+			}
+			return static[d], d
+		}
+		for _, n := range b.Nodes {
+			checkDerefs(pass, info, n, effective)
+		}
+	}
+}
+
+// cfgBlock aliases cfg.Block for local brevity.
+type cfgBlock = cfg.Block
+
+// checkDerefs walks one block node reporting certain-nil dereferences.
+func checkDerefs(pass *Pass, info *types.Info, n ast.Node, effective func(*ast.Ident) (nilFact, *ssa.Def)) {
+	report := func(pos token.Pos, kind, name string) {
+		pass.Reportf(pos,
+			"nil dereference: %s %s is nil on every path reaching this use; add a nil check, or annotate //janus:allow(nilness): <reason>",
+			kind, name)
+	}
+	mustNil := func(e ast.Expr) (string, bool) {
+		id, ok := astUnparen(e).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		f, d := effective(id)
+		if d == nil || f != isNil {
+			return "", false
+		}
+		return id.Name, true
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if tv, ok := info.Types[m.X]; ok && tv.IsValue() {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					if name, ok := mustNil(m.X); ok {
+						report(m.Pos(), "pointer", name)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[m]; ok && sel.Kind() == types.FieldVal {
+				if tv, ok := info.Types[m.X]; ok {
+					if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+						if name, ok := mustNil(m.X); ok {
+							report(m.Sel.Pos(), "pointer", name)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := astUnparen(m.Fun).(*ast.Ident); ok {
+				if tv, ok := info.Types[m.Fun]; ok {
+					if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc && info.Uses[id] != nil {
+						if name, ok := mustNil(m.Fun); ok {
+							report(m.Lparen, "function value", name)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Writing to an element of a nil map panics (reading one is
+			// legal, so maps are only checked on the left-hand side).
+			for _, lhs := range m.Lhs {
+				ix, ok := astUnparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := info.Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						if name, ok := mustNil(ix.X); ok {
+							report(ix.Pos(), "map", name)
+						}
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			// Indexing a nil slice panics (its length is zero) whether
+			// reading or writing.
+			if tv, ok := info.Types[m.X]; ok {
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+					if name, ok := mustNil(m.X); ok {
+						report(m.Pos(), "slice", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

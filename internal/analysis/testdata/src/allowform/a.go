@@ -4,10 +4,10 @@
 package allowform
 
 func f(x float64) float64 {
-	if x == 0 { //janus:allow floatcmp
+	if x == 0 { //janus:allow(floatcmp):
 		return 1
 	}
-	if x == 1 { //janus:allow nosuchcheck the check name does not exist
+	if x == 1 { //janus:allow(nosuchcheck): the check name does not exist
 		return 2
 	}
 	return x

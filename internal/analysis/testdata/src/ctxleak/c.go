@@ -75,5 +75,5 @@ func spawnDead(ch chan int) {
 }
 
 func spawnAllowed(ch chan int) {
-	go func() { <-ch }() //janus:allow ctxleak fixture: demonstrates suppression
+	go func() { <-ch }() //janus:allow(ctxleak): fixture: demonstrates suppression
 }

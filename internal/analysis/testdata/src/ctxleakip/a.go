@@ -63,6 +63,6 @@ func spawnCtx(ctx context.Context, ch chan int) {
 }
 
 func spawnAllowed(ch chan int) {
-	//janus:allow ctxleakip fixture demonstrates an intended fire-and-forget goroutine
+	//janus:allow(ctxleakip): fixture demonstrates an intended fire-and-forget goroutine
 	go wrapper(ch)
 }

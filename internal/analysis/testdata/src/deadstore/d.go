@@ -1,0 +1,101 @@
+// Package deadstore is a januslint fixture: lines marked "want deadstore"
+// must be reported by the deadstore analyzer. A store is dead when no path
+// reads the value before it is overwritten or the variable leaves scope.
+package deadstore
+
+import "errors"
+
+func fail() error         { return errors.New("boom") }
+func pair() (int, error)  { return 0, errors.New("boom") }
+func sink(args ...any)    {}
+func source() int         { return 1 }
+
+func shadowedError() error {
+	err := fail() // want deadstore
+	err = fail()
+	return err
+}
+
+func overwritten() int {
+	x := source() // want deadstore
+	x = 2
+	return x
+}
+
+func trailingStore() {
+	x := source()
+	sink(x)
+	x = 2 // want deadstore
+}
+
+func deadChain() {
+	a := source() // want deadstore
+	b := a + 1    // want deadstore
+	b = 2
+	sink(b)
+}
+
+func loopCounterNeverRead() {
+	n := 0 // want deadstore
+	for i := 0; i < 10; i++ {
+		n++ // want deadstore
+		sink(i)
+	}
+}
+
+func loopCounterRead() int {
+	n := 0
+	for i := 0; i < 10; i++ {
+		n++
+	}
+	return n // ok: the whole increment cycle is live
+}
+
+func branchStore(c bool) int {
+	var x int // ok: zero-value declaration
+	if c {
+		x = 1
+	}
+	return x
+}
+
+func bothBranches(c bool) int {
+	x := 0 // ok: read when c is false
+	if c {
+		x = 1
+	}
+	return x
+}
+
+func namedResult() (err error) {
+	err = fail() // ok: bare return reads named results implicitly
+	return
+}
+
+func addressTaken() {
+	x := 1
+	p := &x
+	x = 2 // ok: address taken, stores through p are invisible to SSA
+	sink(*p)
+}
+
+func captured() func() int {
+	x := 1
+	f := func() int { return x }
+	x = 2 // ok: captured by the closure
+	return f
+}
+
+func tupleUse() int {
+	n, err := pair()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func suppressed() {
+	x := source()
+	sink(x)
+	x = 9 //janus:allow(deadstore): fixture: demonstrates suppression
+}

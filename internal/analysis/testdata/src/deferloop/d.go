@@ -70,7 +70,7 @@ func maybe() bool { return false }
 func allowed(items []*res) {
 	for _, r := range items {
 		r.mu.Lock()
-		defer r.mu.Unlock() //janus:allow deferloop fixture: demonstrates suppression
+		defer r.mu.Unlock() //janus:allow(deferloop): fixture: demonstrates suppression
 		r.work()
 	}
 }

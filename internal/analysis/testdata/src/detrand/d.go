@@ -13,6 +13,6 @@ func draw(rng *rand.Rand) int {
 
 	y := rng.Intn(10)                // ok: seeded instance method
 	r := rand.New(rand.NewSource(1)) // ok: constructors build the seeded form
-	z := rand.Intn(2)                //janus:allow detrand fixture: demonstrates suppression
+	z := rand.Intn(2)                //janus:allow(detrand): fixture: demonstrates suppression
 	return x + y + z + r.Intn(3)
 }

@@ -31,7 +31,7 @@ func cmp(a, b float64, xs []float64) int {
 	if len(xs) == 0 { // ok: integer comparison
 		return 5
 	}
-	if a == 0 { //janus:allow floatcmp fixture: exact-zero sentinel is intended here
+	if a == 0 { //janus:allow(floatcmp): fixture: exact-zero sentinel is intended here
 		return 6
 	}
 	return 7

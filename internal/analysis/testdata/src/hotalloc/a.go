@@ -87,7 +87,7 @@ func HotSpawn() {
 
 //janus:hotpath
 func HotAllowed() []int {
-	//janus:allow hotalloc fixture demonstrates an intended allocation
+	//janus:allow(hotalloc): fixture demonstrates an intended allocation
 	return []int{1, 2, 3}
 }
 

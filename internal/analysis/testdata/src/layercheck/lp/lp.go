@@ -5,6 +5,6 @@ package lp
 
 import (
 	_ "janus/internal/analysis/testdata/src/layercheck/core" // want layercheck
-	//janus:allow layercheck fixture: demonstrates suppression
+	//janus:allow(layercheck): fixture: demonstrates suppression
 	_ "janus/internal/analysis/testdata/src/layercheck/server"
 )

@@ -26,7 +26,7 @@ func (c *counter) Peek() int {
 func (c *counter) peekLocked() int { return c.n } // ok: caller-holds-lock convention
 
 func (c *counter) Reset() {
-	c.n = 0 //janus:allow lockcheck fixture: demonstrates suppression
+	c.n = 0 //janus:allow(lockcheck): fixture: demonstrates suppression
 }
 
 type gauge struct {

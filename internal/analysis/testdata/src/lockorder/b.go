@@ -83,6 +83,6 @@ func (b *box) tryPoll() {
 func (b *box) allowWait() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	//janus:allow lockorder fixture demonstrates an intended wait under the lock
+	//janus:allow(lockorder): fixture demonstrates an intended wait under the lock
 	<-b.ch
 }

@@ -92,5 +92,5 @@ func allowed() {
 	var s store
 	s.mu.Lock()
 	s.mu.Unlock()
-	sink(s) //janus:allow mutexcopy fixture: demonstrates suppression
+	sink(s) //janus:allow(mutexcopy): fixture: demonstrates suppression
 }

@@ -1,0 +1,114 @@
+// Package nilness is a januslint fixture: lines marked "want nilness"
+// must be reported by the nilness analyzer. The analyzer is must-nil:
+// only dereferences that panic on every feasible path are findings, so
+// the may-nil cases below stay silent by design.
+package nilness
+
+type node struct {
+	val  int
+	next *node
+}
+
+func zeroPointer() int {
+	var p *node
+	return p.val // want nilness
+}
+
+func nilLiteral(p *node) {
+	p = nil
+	p.val = 1 // want nilness
+}
+
+func nilStar() int {
+	var p *int
+	return *p // want nilness
+}
+
+func checkedEarlyReturn(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.val // ok: non-nil on the fallthrough edge
+}
+
+func derefInsideNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want nilness
+	}
+	return p.val // ok: non-nil branch
+}
+
+func checkedNotNil(p *node) int {
+	if p != nil {
+		return p.val // ok: guarded
+	}
+	return 0
+}
+
+func nilMap() {
+	var m map[string]int
+	m["k"] = 1 // want nilness
+}
+
+func madeMap() {
+	m := make(map[string]int)
+	m["k"] = 1 // ok: make result is non-nil
+}
+
+func nilMapRead() int {
+	var m map[string]int
+	return m["k"] // ok: reading a nil map is legal
+}
+
+func nilFunc() {
+	var f func()
+	f() // want nilness
+}
+
+func nilSlice() {
+	var s []int
+	s[0] = 1 // want nilness
+}
+
+func mayNilPhi(c bool) int {
+	var p *node
+	if c {
+		p = &node{}
+	}
+	return p.val // ok: may-nil phi, not must-nil
+}
+
+func allNilPhi(c bool) int {
+	var p *node
+	if c {
+		p = nil
+	}
+	return p.val // want nilness
+}
+
+func rebound() int {
+	var p *node
+	p = &node{}
+	return p.val // ok: reassigned before use
+}
+
+func copyPropagation() int {
+	var p *node
+	q := p
+	return q.val // want nilness
+}
+
+func loopGuard(p *node) int {
+	sum := 0
+	for p != nil {
+		sum += p.val // ok: loop condition guards the body
+		p = p.next
+	}
+	return sum
+}
+
+func suppressed() int {
+	var p *node
+	//janus:allow(nilness): fixture: demonstrates suppression
+	return p.val
+}

@@ -96,7 +96,7 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		return nil, fmt.Errorf("core: solving period %d: %w", period, err)
 	}
 
-	tier := TierFull
+	var tier DegradationTier
 	switch sol.Status {
 	case milp.Optimal:
 		tier = TierFull

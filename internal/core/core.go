@@ -77,10 +77,10 @@ func (c Config) withDefaults() Config {
 	if c.Scheme == nil {
 		c.Scheme = labels.Default()
 	}
-	if c.Lambda == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
+	if c.Lambda == 0 { //janus:allow(floatcmp): zero-value config sentinel meaning "unset", never a computed float
 		c.Lambda = 0.2
 	}
-	if c.Rho == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
+	if c.Rho == 0 { //janus:allow(floatcmp): zero-value config sentinel meaning "unset", never a computed float
 		c.Rho = 0.2
 	}
 	// The branch-and-bound gap tolerance: the paper's objective counts
@@ -88,7 +88,7 @@ func (c Config) withDefaults() Config {
 	// normalized weight on typical instances) keeps counts honest while
 	// avoiding exhaustive proofs. ILP and heuristic modes share the same
 	// tolerance, keeping comparisons fair.
-	if c.RelGap == 0 { //janus:allow floatcmp zero-value config sentinel meaning "unset", never a computed float
+	if c.RelGap == 0 { //janus:allow(floatcmp): zero-value config sentinel meaning "unset", never a computed float
 		c.RelGap = 0.02
 	}
 	if c.MaxNodes == 0 {

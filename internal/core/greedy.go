@@ -60,7 +60,7 @@ func greedyStart(c *Configurator, m *model, prevAssign []Assignment) map[int]flo
 	order := append([]int(nil), m.pids...)
 	sort.Slice(order, func(i, j int) bool {
 		wi, wj := m.weights[order[i]], m.weights[order[j]]
-		if wi != wj { //janus:allow floatcmp sort comparator needs exact ordering; epsilon ties would break transitivity
+		if wi != wj { //janus:allow(floatcmp): sort comparator needs exact ordering; epsilon ties would break transitivity
 			return wi > wj
 		}
 		return order[i] < order[j]

@@ -69,12 +69,11 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 	for k, res := range baseline.Results {
 		rank := bottleneckRank(res)
 		for _, r := range rank[:negotiationTop(len(rank), K)] {
-			if over.factor(r.Policy, baseline.Periods[k]) != 1 { //janus:allow floatcmp factor returns the exact literal 1 when no override is recorded
+			if over.factor(r.Policy, baseline.Periods[k]) != 1 { //janus:allow(floatcmp): factor returns the exact literal 1 when no override is recorded
 				continue // already renegotiated at this period
 			}
 			// The policy's per-pair bandwidth at this period.
 			bw := 0.0
-			var pathsAt [][2]int64
 			for _, a := range res.Assignments {
 				if a.Policy == r.Policy && a.Role == HardEdge {
 					bw = a.BW
@@ -92,7 +91,6 @@ func (c *Configurator) Negotiate(baseline *TemporalResult, K, N float64) (*Negot
 				if !future.Configured[r.Policy] {
 					continue
 				}
-				pathsAt = pathsAt[:0]
 				feasible := true
 				need := map[linkID]float64{}
 				for _, a := range future.Assignments {

@@ -173,7 +173,7 @@ func TestNegotiateShiftsBandwidth(t *testing.T) {
 		if p.From >= p.To {
 			t.Errorf("proposal %+v shifts bandwidth backward", p)
 		}
-		if p.Percent != 20 { //janus:allow floatcmp N is passed through verbatim
+		if p.Percent != 20 { //janus:allow(floatcmp): N is passed through verbatim
 			t.Errorf("proposal %+v has Percent %g, want 20", p, p.Percent)
 		}
 		key := [2]int{p.Policy, p.From}

@@ -253,29 +253,29 @@ func statefulNF(k policy.NFKind) bool {
 func (n *Network) Lookup(src, dst string, proto policy.Protocol, port int) ([]topo.NodeID, error) {
 	srcEP, ok := n.topo.EndpointByName(src)
 	if !ok {
-		return nil, fmt.Errorf("dataplane: unknown endpoint %q", src) //janus:allow hotalloc error construction on the failure path only
+		return nil, fmt.Errorf("dataplane: unknown endpoint %q", src) //janus:allow(hotalloc): error construction on the failure path only
 	}
 	dstEP, ok := n.topo.EndpointByName(dst)
 	if !ok {
-		return nil, fmt.Errorf("dataplane: unknown endpoint %q", dst) //janus:allow hotalloc error construction on the failure path only
+		return nil, fmt.Errorf("dataplane: unknown endpoint %q", dst) //janus:allow(hotalloc): error construction on the failure path only
 	}
 	cur := srcEP.Attach
 	prev := HostPort
 	var walk []topo.NodeID
 	maxSteps := 4*len(n.topo.Nodes) + 8
 	for steps := 0; steps <= maxSteps; steps++ {
-		walk = append(walk, cur) //janus:allow hotalloc the traversed path is the result; it grows O(hops) per lookup
+		walk = append(walk, cur) //janus:allow(hotalloc): the traversed path is the result; it grows O(hops) per lookup
 		sw := n.switches[cur]
 		rule, ok := n.matchRule(sw, src, dst, prev, proto, port)
 		if !ok {
 			if cur == dstEP.Attach {
 				return walk, nil // delivered to the attached endpoint
 			}
-			return walk, fmt.Errorf("dataplane: blackhole at switch %d for %s->%s", cur, src, dst) //janus:allow hotalloc error construction on the failure path only
+			return walk, fmt.Errorf("dataplane: blackhole at switch %d for %s->%s", cur, src, dst) //janus:allow(hotalloc): error construction on the failure path only
 		}
 		prev, cur = cur, rule.NextHop
 	}
-	return walk, fmt.Errorf("dataplane: forwarding loop for %s->%s (walk %v)", src, dst, walk) //janus:allow hotalloc error construction on the failure path only
+	return walk, fmt.Errorf("dataplane: forwarding loop for %s->%s (walk %v)", src, dst, walk) //janus:allow(hotalloc): error construction on the failure path only
 }
 
 func (n *Network) matchRule(sw *Switch, src, dst string, inPort topo.NodeID, proto policy.Protocol, port int) (Rule, bool) {

@@ -6,7 +6,7 @@ import (
 	"runtime"
 	"time"
 
-	//janus:allow layercheck the lp_micro bench section measures the solver layer directly, bypassing core on purpose
+	//janus:allow(layercheck): the lp_micro bench section measures the solver layer directly, bypassing core on purpose
 	"janus/internal/lp"
 )
 

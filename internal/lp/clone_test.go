@@ -70,10 +70,10 @@ func TestCloneIsIndependent(t *testing.T) {
 	_ = c.AddVariable(0, 1, 1)
 
 	// The original must be untouched.
-	if lo, up := p.Bounds(vars[0]); lo != 0 || up != 4 { //janus:allow floatcmp bounds set from exact literals
+	if lo, up := p.Bounds(vars[0]); lo != 0 || up != 4 { //janus:allow(floatcmp): bounds set from exact literals
 		t.Errorf("original bounds mutated: [%v,%v]", lo, up)
 	}
-	if got := p.ObjectiveCoef(vars[1]); got != 2 { //janus:allow floatcmp objective set from exact literal
+	if got := p.ObjectiveCoef(vars[1]); got != 2 { //janus:allow(floatcmp): objective set from exact literal
 		t.Errorf("original objective mutated: %v", got)
 	}
 	if p.NumConstraints() != 3 {
@@ -109,7 +109,7 @@ func TestCloneSharesBasisLayout(t *testing.T) {
 func TestConstraintAccessor(t *testing.T) {
 	p, vars := buildCloneFixture(t)
 	sense, rhs, terms := p.Constraint(1)
-	if sense != GE || rhs != -1 { //janus:allow floatcmp rhs set from exact literal
+	if sense != GE || rhs != -1 { //janus:allow(floatcmp): rhs set from exact literal
 		t.Fatalf("row 1 = (%v, %v), want (GE, -1)", sense, rhs)
 	}
 	want := []Term{{Var: vars[1], Coef: 1}, {Var: vars[2], Coef: 1}}
@@ -124,7 +124,7 @@ func TestConstraintAccessor(t *testing.T) {
 	// Mutating the returned slice must not alias the problem.
 	terms[0].Coef = 99
 	_, _, again := p.Constraint(1)
-	if again[0].Coef != 1 { //janus:allow floatcmp coefficient set from exact literal
+	if again[0].Coef != 1 { //janus:allow(floatcmp): coefficient set from exact literal
 		t.Error("Constraint returned an aliased slice")
 	}
 }

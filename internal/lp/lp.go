@@ -137,10 +137,10 @@ func (p *Problem) SetObjective(v int, obj float64) error {
 // binaries).
 func (p *Problem) SetBounds(v int, lo, up float64) error {
 	if v < 0 || v >= p.nStruct {
-		return fmt.Errorf("lp: variable %d out of range", v) //janus:allow hotalloc error construction on the failure path only
+		return fmt.Errorf("lp: variable %d out of range", v) //janus:allow(hotalloc): error construction on the failure path only
 	}
 	if lo > up {
-		return fmt.Errorf("lp: variable %d bounds inverted: [%g,%g]", v, lo, up) //janus:allow hotalloc error construction on the failure path only
+		return fmt.Errorf("lp: variable %d bounds inverted: [%g,%g]", v, lo, up) //janus:allow(hotalloc): error construction on the failure path only
 	}
 	p.lo[v], p.up[v] = lo, up
 	return nil
@@ -284,7 +284,7 @@ const (
 // safe for concurrent use on one Problem — see Clone.
 func (p *Problem) Solve(opts Options) (*Solution, error) {
 	ws := p.workspace()
-	s := &simplex{p: p, ws: ws, n: ws.n, m: ws.m} //janus:allow hotalloc one solver handle per LP solve, amortized over all its pivots
+	s := &simplex{p: p, ws: ws, n: ws.n, m: ws.m} //janus:allow(hotalloc): one solver handle per LP solve, amortized over all its pivots
 	s.resetBasis()
 	if opts.WarmStart != nil {
 		s.loadBasis(opts.WarmStart)
@@ -420,7 +420,7 @@ func (s *simplex) computeBasics() {
 			continue
 		}
 		x := s.nonbasicValue(v)
-		if x == 0 { //janus:allow floatcmp exact-zero sparsity guard: a resting value of exactly 0 contributes nothing
+		if x == 0 { //janus:allow(floatcmp): exact-zero sparsity guard: a resting value of exactly 0 contributes nothing
 			continue
 		}
 		// Inlined colEntries: a closure here would allocate once per
@@ -592,7 +592,7 @@ func (s *simplex) priceCandidates(phase1 bool, y []float64) (int, float64, float
 		}
 		d := s.reducedCost(phase1, y, v)
 		score, dv := s.eligible(v, d)
-		if dv == 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+		if dv == 0 { //janus:allow(floatcmp): dir is assigned only the exact literals 0/+1/-1
 			continue // no longer attractive: drop from the list
 		}
 		ws.cands[kept] = cv
@@ -620,15 +620,15 @@ func (s *simplex) priceFullScan(phase1 bool, y []float64) (int, float64, float64
 		}
 		d := s.reducedCost(phase1, y, v)
 		score, dv := s.eligible(v, d)
-		if dv == 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+		if dv == 0 { //janus:allow(floatcmp): dir is assigned only the exact literals 0/+1/-1
 			continue
 		}
 		if score > best {
 			best, enter, dir = score, v, dv
 		}
 		if len(ws.cands) < limit {
-			ws.cands = append(ws.cands, int32(v))      //janus:allow hotalloc candidate buffers keep their capacity across pivots, bounded by the pricing limit
-			ws.candScore = append(ws.candScore, score) //janus:allow hotalloc candidate buffers keep their capacity across pivots, bounded by the pricing limit
+			ws.cands = append(ws.cands, int32(v))      //janus:allow(hotalloc): candidate buffers keep their capacity across pivots, bounded by the pricing limit
+			ws.candScore = append(ws.candScore, score) //janus:allow(hotalloc): candidate buffers keep their capacity across pivots, bounded by the pricing limit
 			continue
 		}
 		mi := 0
@@ -652,7 +652,7 @@ func (s *simplex) priceBland(phase1 bool, y []float64) (int, float64, float64) {
 		}
 		d := s.reducedCost(phase1, y, v)
 		score, dv := s.eligible(v, d)
-		if dv != 0 { //janus:allow floatcmp dir is assigned only the exact literals 0/+1/-1
+		if dv != 0 { //janus:allow(floatcmp): dir is assigned only the exact literals 0/+1/-1
 			return v, dv, score
 		}
 	}
@@ -813,7 +813,7 @@ func (s *simplex) objective() float64 {
 	ws := s.ws
 	total := 0.0
 	for v := 0; v < s.n; v++ {
-		if c := ws.obj[v]; c != 0 { //janus:allow floatcmp exact-zero sparsity guard: zero cost terms add nothing
+		if c := ws.obj[v]; c != 0 { //janus:allow(floatcmp): exact-zero sparsity guard: zero cost terms add nothing
 			total += c * s.value(v)
 		}
 	}
@@ -829,13 +829,13 @@ func (s *simplex) value(v int) float64 {
 
 func (s *simplex) extract(status Status) *Solution {
 	ws := s.ws
-	sol := &Solution{ //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+	sol := &Solution{ //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
 		Status:           status,
 		Iterations:       s.iters,
 		Refactorizations: ws.refactorizations,
 		PricingSwitches:  ws.pricingSwitches,
 	}
-	sol.X = make([]float64, s.n) //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+	sol.X = make([]float64, s.n) //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
 	for v := 0; v < s.n; v++ {
 		sol.X[v] = s.value(v)
 	}
@@ -843,15 +843,15 @@ func (s *simplex) extract(status Status) *Solution {
 		sol.Objective = s.objective()
 		// Duals: y = c_B B⁻¹ with the real objective, via BTRAN.
 		y := ws.btran(s.basicCosts(false))
-		sol.Duals = append([]float64(nil), y...) //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
-		sol.ReducedCosts = make([]float64, s.n)  //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+		sol.Duals = append([]float64(nil), y...) //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
+		sol.ReducedCosts = make([]float64, s.n)  //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
 		for v := 0; v < s.n; v++ {
 			sol.ReducedCosts[v] = s.reducedCost(false, y, v)
 		}
 	}
-	sol.Basis = &Basis{ //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
-		basic:  append([]int(nil), ws.basic...),   //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
-		status: append([]int8(nil), ws.status...), //janus:allow hotalloc solution extraction runs once per solve, after the pivot loop
+	sol.Basis = &Basis{ //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
+		basic:  append([]int(nil), ws.basic...),   //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
+		status: append([]int8(nil), ws.status...), //janus:allow(hotalloc): solution extraction runs once per solve, after the pivot loop
 		n:      s.n + s.m,
 		m:      s.m,
 	}

@@ -129,24 +129,24 @@ func (p *Problem) workspace() *workspace {
 func newWorkspace(p *Problem) *workspace {
 	n, m := p.nStruct, len(p.rows)
 	total := n + m
-	ws := &workspace{version: p.version, n: n, m: m} //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.lo = make([]float64, total)                   //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.up = make([]float64, total)                   //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.obj = make([]float64, total)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.basic = make([]int, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.status = make([]int8, total)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.varRow = make([]int32, total)                 //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.xB = make([]float64, m)                       //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.binv0 = make([]float64, m*m)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.facBasic = make([]int, m)                     //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.gjB = make([]float64, m*m)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.gjInv = make([]float64, m*m)                  //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.y = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.w = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.z = make([]float64, m)                        //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.resid = make([]float64, m)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.mark = make([]bool, total)                    //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
-	ws.etaStart = append(ws.etaStart, 0)             //janus:allow hotalloc workspace construction runs once per problem version, not per pivot
+	ws := &workspace{version: p.version, n: n, m: m} //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.lo = make([]float64, total)                   //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.up = make([]float64, total)                   //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.obj = make([]float64, total)                  //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.basic = make([]int, m)                        //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.status = make([]int8, total)                  //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.varRow = make([]int32, total)                 //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.xB = make([]float64, m)                       //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.binv0 = make([]float64, m*m)                  //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.facBasic = make([]int, m)                     //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.gjB = make([]float64, m*m)                    //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.gjInv = make([]float64, m*m)                  //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.y = make([]float64, m)                        //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.w = make([]float64, m)                        //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.z = make([]float64, m)                        //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.resid = make([]float64, m)                    //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.mark = make([]bool, total)                    //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
+	ws.etaStart = append(ws.etaStart, 0)             //janus:allow(hotalloc): workspace construction runs once per problem version, not per pivot
 	ws.buildCols(p)
 	return ws
 }
@@ -178,23 +178,23 @@ func (ws *workspace) refresh(p *Problem) {
 
 // buildCols constructs the CSC column index of the structural matrix.
 func (ws *workspace) buildCols(p *Problem) {
-	ws.colRows = make([][]int32, ws.n)    //janus:allow hotalloc CSC column index built once per problem version
-	ws.colCoefs = make([][]float64, ws.n) //janus:allow hotalloc CSC column index built once per problem version
-	counts := make([]int, ws.n)           //janus:allow hotalloc CSC column index built once per problem version
+	ws.colRows = make([][]int32, ws.n)    //janus:allow(hotalloc): CSC column index built once per problem version
+	ws.colCoefs = make([][]float64, ws.n) //janus:allow(hotalloc): CSC column index built once per problem version
+	counts := make([]int, ws.n)           //janus:allow(hotalloc): CSC column index built once per problem version
 	for r := range p.rows {
 		for _, v := range p.rows[r].vars {
 			counts[v]++
 		}
 	}
 	for v := 0; v < ws.n; v++ {
-		ws.colRows[v] = make([]int32, 0, counts[v])    //janus:allow hotalloc CSC column index built once per problem version
-		ws.colCoefs[v] = make([]float64, 0, counts[v]) //janus:allow hotalloc CSC column index built once per problem version
+		ws.colRows[v] = make([]int32, 0, counts[v])    //janus:allow(hotalloc): CSC column index built once per problem version
+		ws.colCoefs[v] = make([]float64, 0, counts[v]) //janus:allow(hotalloc): CSC column index built once per problem version
 	}
 	for r := range p.rows {
 		rw := &p.rows[r]
 		for i, v := range rw.vars {
-			ws.colRows[v] = append(ws.colRows[v], int32(r))      //janus:allow hotalloc CSC column index built once per problem version
-			ws.colCoefs[v] = append(ws.colCoefs[v], rw.coefs[i]) //janus:allow hotalloc CSC column index built once per problem version
+			ws.colRows[v] = append(ws.colRows[v], int32(r))      //janus:allow(hotalloc): CSC column index built once per problem version
+			ws.colCoefs[v] = append(ws.colCoefs[v], rw.coefs[i]) //janus:allow(hotalloc): CSC column index built once per problem version
 		}
 	}
 }
@@ -232,12 +232,12 @@ func (ws *workspace) appendEta(w []float64, r int) {
 		if i == r || math.Abs(wi) <= etaDropTol {
 			continue
 		}
-		ws.etaRows = append(ws.etaRows, int32(i)) //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
-		ws.etaVals = append(ws.etaVals, wi)       //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
+		ws.etaRows = append(ws.etaRows, int32(i)) //janus:allow(hotalloc): eta-file growth is amortized: the arrays keep their capacity across refactorizations
+		ws.etaVals = append(ws.etaVals, wi)       //janus:allow(hotalloc): eta-file growth is amortized: the arrays keep their capacity across refactorizations
 	}
-	ws.etaStart = append(ws.etaStart, int32(len(ws.etaRows))) //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
-	ws.etaPivRow = append(ws.etaPivRow, int32(r))             //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
-	ws.etaPivVal = append(ws.etaPivVal, w[r])                 //janus:allow hotalloc eta-file growth is amortized: the arrays keep their capacity across refactorizations
+	ws.etaStart = append(ws.etaStart, int32(len(ws.etaRows))) //janus:allow(hotalloc): eta-file growth is amortized: the arrays keep their capacity across refactorizations
+	ws.etaPivRow = append(ws.etaPivRow, int32(r))             //janus:allow(hotalloc): eta-file growth is amortized: the arrays keep their capacity across refactorizations
+	ws.etaPivVal = append(ws.etaPivVal, w[r])                 //janus:allow(hotalloc): eta-file growth is amortized: the arrays keep their capacity across refactorizations
 	ws.facBasic[r] = ws.basic[r]
 }
 
@@ -248,7 +248,7 @@ func (ws *workspace) ftranEtas(w []float64) {
 		r := ws.etaPivRow[e]
 		t := w[r] / ws.etaPivVal[e]
 		w[r] = t
-		if t == 0 { //janus:allow floatcmp exact-zero sparsity guard: a zero pivot component leaves the eta a no-op
+		if t == 0 { //janus:allow(floatcmp): exact-zero sparsity guard: a zero pivot component leaves the eta a no-op
 			continue
 		}
 		for k := ws.etaStart[e]; k < ws.etaStart[e+1]; k++ {
@@ -311,7 +311,7 @@ func (ws *workspace) btran(z []float64) []float64 {
 	}
 	for i := 0; i < m; i++ {
 		zi := z[i]
-		if zi == 0 { //janus:allow floatcmp exact-zero sparsity guard: zero components contribute nothing to y
+		if zi == 0 { //janus:allow(floatcmp): exact-zero sparsity guard: zero components contribute nothing to y
 			continue
 		}
 		row := ws.binv0[i*m : i*m+m]
@@ -377,7 +377,7 @@ func (ws *workspace) refactorize() error {
 				continue
 			}
 			f := B[i*m+col]
-			if f == 0 { //janus:allow floatcmp exact-zero sparsity guard: skips a provably no-op elimination row
+			if f == 0 { //janus:allow(floatcmp): exact-zero sparsity guard: skips a provably no-op elimination row
 				continue
 			}
 			for j := 0; j < m; j++ {

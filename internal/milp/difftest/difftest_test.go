@@ -58,7 +58,7 @@ func TestGenerateDeterministic(t *testing.T) {
 				b.Name, b.Prob.NumVariables(), b.Prob.NumConstraints())
 		}
 		for v := 0; v < a.Prob.NumVariables(); v++ {
-			if a.Prob.ObjectiveCoef(v) != b.Prob.ObjectiveCoef(v) { //janus:allow floatcmp same seed must give identical coefficients
+			if a.Prob.ObjectiveCoef(v) != b.Prob.ObjectiveCoef(v) { //janus:allow(floatcmp): same seed must give identical coefficients
 				t.Fatalf("seed %d: objective coef %d differs", seed, v)
 			}
 		}

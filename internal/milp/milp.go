@@ -433,9 +433,9 @@ func (s *Solver) RelaxAndRound(ctx context.Context) (*Solution, bool) {
 // toward the nearer integer). It returns an array, not a slice, so the hot
 // branch step allocates only the two nodes and their fixing entries.
 func (s *Solver) children(parent *node, v int, x float64) [2]*node {
-	up := &node{fixings: &fixing{v: v, val: 1, prev: parent.fixings}, //janus:allow hotalloc a branch node must outlive the step: it escapes to the node queue by design
+	up := &node{fixings: &fixing{v: v, val: 1, prev: parent.fixings}, //janus:allow(hotalloc): a branch node must outlive the step: it escapes to the node queue by design
 		bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
-	down := &node{fixings: &fixing{v: v, val: 0, prev: parent.fixings}, //janus:allow hotalloc a branch node must outlive the step: it escapes to the node queue by design
+	down := &node{fixings: &fixing{v: v, val: 0, prev: parent.fixings}, //janus:allow(hotalloc): a branch node must outlive the step: it escapes to the node queue by design
 		bound: parent.bound, basis: parent.basis, depth: parent.depth + 1}
 	// Stack is LIFO: push the preferred child last.
 	if x >= 0.5 {
@@ -573,7 +573,7 @@ func (s *Solver) roundAndRepair(x []float64) ([]float64, float64, bool) {
 		if x[v] >= 0.5 {
 			val = 1
 		}
-		fixings = &fixing{v: v, val: val, prev: fixings} //janus:allow hotalloc one fixing entry per integer variable, on the periodic rounding schedule only
+		fixings = &fixing{v: v, val: val, prev: fixings} //janus:allow(hotalloc): one fixing entry per integer variable, on the periodic rounding schedule only
 	}
 	res, err := s.solveLP(fixings, nil)
 	if err != nil || res.Status != lp.Optimal {

@@ -55,7 +55,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200000
 	}
-	if o.RelGap == 0 { //janus:allow floatcmp zero-value option sentinel meaning "unset", never a computed float
+	if o.RelGap == 0 { //janus:allow(floatcmp): zero-value option sentinel meaning "unset", never a computed float
 		o.RelGap = 1e-6
 	}
 	if o.Workers == 0 {

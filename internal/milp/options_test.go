@@ -85,7 +85,7 @@ func TestWithDefaults(t *testing.T) {
 	if o.MaxNodes != 200000 {
 		t.Errorf("MaxNodes default = %d, want 200000", o.MaxNodes)
 	}
-	if o.RelGap != 1e-6 { //janus:allow floatcmp default set from exact literal
+	if o.RelGap != 1e-6 { //janus:allow(floatcmp): default set from exact literal
 		t.Errorf("RelGap default = %v, want 1e-6", o.RelGap)
 	}
 	if o.Workers < 1 {
@@ -93,7 +93,7 @@ func TestWithDefaults(t *testing.T) {
 	}
 	// Explicit values survive.
 	o = Options{MaxNodes: 7, RelGap: 0.5, Workers: 3}.withDefaults()
-	if o.MaxNodes != 7 || o.RelGap != 0.5 || o.Workers != 3 { //janus:allow floatcmp values set from exact literals
+	if o.MaxNodes != 7 || o.RelGap != 0.5 || o.Workers != 3 { //janus:allow(floatcmp): values set from exact literals
 		t.Errorf("withDefaults clobbered explicit values: %+v", o)
 	}
 }

@@ -37,7 +37,7 @@ type nodeHeap []pqNode
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
-	if h[i].bound != h[j].bound { //janus:allow floatcmp heap ordering: equal bounds fall through to deterministic tie-breaks
+	if h[i].bound != h[j].bound { //janus:allow(floatcmp): heap ordering: equal bounds fall through to deterministic tie-breaks
 		return h[i].bound > h[j].bound
 	}
 	if h[i].depth != h[j].depth {
@@ -51,7 +51,7 @@ func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 // container/heap), so enqueueing a node in the worker loop does not box
 // every pqNode into an interface.
 func (h *nodeHeap) push(it pqNode) {
-	*h = append(*h, it) //janus:allow hotalloc queue growth is amortized: the heap keeps its capacity across pushes
+	*h = append(*h, it) //janus:allow(hotalloc): queue growth is amortized: the heap keeps its capacity across pushes
 	s := *h
 	i := len(s) - 1
 	for i > 0 {
@@ -127,7 +127,7 @@ func newParSearch() *parSearch {
 func (ps *parSearch) acceptLocked(x []float64, obj float64) {
 	if obj > ps.incObj {
 		ps.incObj = obj
-		ps.incumbent = append([]float64(nil), x...) //janus:allow hotalloc the incumbent is copied only when the bound improves
+		ps.incumbent = append([]float64(nil), x...) //janus:allow(hotalloc): the incumbent is copied only when the bound improves
 		ps.lastImprove = ps.nodes
 	}
 }
@@ -187,7 +187,7 @@ func (ps *parSearch) next(ctx context.Context, id int, opts Options, deadline ti
 			return nil, false
 		}
 		if err := ctx.Err(); err != nil {
-			ps.haltLocked(false, fmt.Errorf("milp: solve aborted after %d nodes: %w", ps.nodes, err)) //janus:allow hotalloc error construction on the failure path only
+			ps.haltLocked(false, fmt.Errorf("milp: solve aborted after %d nodes: %w", ps.nodes, err)) //janus:allow(hotalloc): error construction on the failure path only
 			return nil, false
 		}
 		if ps.nodes >= opts.MaxNodes {
@@ -252,7 +252,7 @@ func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline 
 		if err != nil {
 			ps.mu.Lock()
 			ps.finishLocked(w.id)
-			ps.haltLocked(false, fmt.Errorf("milp: node solve: %w", err)) //janus:allow hotalloc error construction on the failure path only
+			ps.haltLocked(false, fmt.Errorf("milp: node solve: %w", err)) //janus:allow(hotalloc): error construction on the failure path only
 			ps.mu.Unlock()
 			return
 		}
@@ -291,7 +291,7 @@ func (w *worker) run(ctx context.Context, ps *parSearch, opts Options, deadline 
 			rx, robj, rok = w.roundAndRepair(res.X)
 		}
 
-		children := w.children(&node{ //janus:allow hotalloc the re-bounded parent must outlive the step: its children share it by design
+		children := w.children(&node{ //janus:allow(hotalloc): the re-bounded parent must outlive the step: its children share it by design
 			fixings: nd.fixings, bound: res.Objective, basis: res.Basis, depth: nd.depth,
 		}, frac, res.X[frac])
 

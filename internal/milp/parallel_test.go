@@ -83,7 +83,7 @@ func TestParallelBoundsRestored(t *testing.T) {
 	}
 	for _, v := range vars {
 		lo, up := p.Bounds(v)
-		if lo != 0 || up != 1 { //janus:allow floatcmp binary bounds are exact literals
+		if lo != 0 || up != 1 { //janus:allow(floatcmp): binary bounds are exact literals
 			t.Errorf("bounds of %d = [%v,%v], want [0,1]", v, lo, up)
 		}
 	}

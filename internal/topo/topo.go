@@ -337,7 +337,7 @@ func (t *Topology) buildIndex() {
 
 func (t *Topology) endpointIndex(name string) (int, bool) {
 	if t.epIndex == nil {
-		t.epIndex = make(map[string]int, len(t.Endpoints)) //janus:allow hotalloc lazy one-time endpoint index, shared by every subsequent lookup
+		t.epIndex = make(map[string]int, len(t.Endpoints)) //janus:allow(hotalloc): lazy one-time endpoint index, shared by every subsequent lookup
 		for i, ep := range t.Endpoints {
 			t.epIndex[ep.Name] = i
 		}
