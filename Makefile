@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test test-race chaos check bench bench-lp benchdiff fuzz difftest
+.PHONY: all build vet lint lint-sarif test test-race chaos crashsoak check bench bench-lp benchdiff fuzz difftest
 
 all: check
 
@@ -35,6 +35,16 @@ test-race:
 # the self-audit stays clean and failed updates roll back exactly.
 chaos:
 	$(GO) test -race -count=1 -run TestChaosSoak ./internal/runtime/ -v
+
+# crashsoak sweeps every injected crash point of the durability layer: for
+# each counted disk operation (journal write, fsync, snapshot rename) the
+# soak re-runs the event schedule with a crash armed at that point, restarts
+# from disk, and asserts recovery is audit-clean and byte-identical to a
+# never-crashed reference runtime. The warm-restart tests assert graceful
+# shutdown recovers from the snapshot with zero replayed records.
+crashsoak:
+	$(GO) test -race -count=1 -run 'TestCrashSoak|TestWarmRestartRecoversWithZeroReplay|TestCrashSweepEveryPoint|TestCrashDuringSnapshotRename|TestDurableRestartRoundTrip' \
+		./internal/store/ ./internal/runtime/ ./internal/server/ -v
 
 # bench regenerates the committed parallel-solver baseline, including the
 # lp_micro simplex microbenchmark section benchdiff gates. Run on the

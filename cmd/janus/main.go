@@ -50,6 +50,12 @@ func run(args []string, out *os.File) error {
 	if err := readJSON(*topoPath, &tp); err != nil {
 		return err
 	}
+	// Decoding checks structure only; input topologies must also be
+	// connected (a disconnected one is legal solely as recovered runtime
+	// state after a quarantine).
+	if err := tp.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", *topoPath, err)
+	}
 	var graphs []*janus.PolicyGraph
 	for _, path := range strings.Split(*policyPaths, ",") {
 		path = strings.TrimSpace(path)

@@ -5,11 +5,20 @@
 // Usage:
 //
 //	janusd -topo topology.json [-addr :8080] [-paths 5] [-seed 1] [-tick 0]
+//	       [-data-dir /var/lib/janusd] [-snapshot-every 64]
 //
 // With -tick set (e.g. -tick 1m), the controller advances the policy clock
 // one hour per interval on its own, driving time-of-day policies without an
 // external scheduler. SIGINT/SIGTERM shut the server down gracefully:
 // in-flight requests finish and the ticker goroutine is reaped before exit.
+//
+// With -data-dir set, runtime state is durable: every northbound mutation
+// is journaled (write + fsync) before it is acknowledged, a snapshot is
+// taken every -snapshot-every appends and on graceful shutdown, and boot
+// recovers the journaled state — replaying the log suffix past the newest
+// snapshot and truncating at the first torn record — so a restarted
+// controller resumes with its composed graph, escalations, quarantines,
+// and remembered link capacities intact.
 //
 // Then, for example:
 //
@@ -36,6 +45,7 @@ import (
 
 	"janus/internal/core"
 	"janus/internal/server"
+	"janus/internal/store"
 	"janus/internal/topo"
 )
 
@@ -45,6 +55,8 @@ func main() {
 	paths := flag.Int("paths", 5, "candidate paths per endpoint pair")
 	seed := flag.Int64("seed", 1, "random seed")
 	tick := flag.Duration("tick", 0, "advance the policy clock one hour per interval (0 disables)")
+	dataDir := flag.String("data-dir", "", "directory for durable state (empty disables persistence)")
+	snapEvery := flag.Int("snapshot-every", 64, "snapshot after this many journal appends (with -data-dir)")
 	flag.Parse()
 
 	if *topoPath == "" {
@@ -62,6 +74,21 @@ func main() {
 	s, err := server.New(&t, core.Config{CandidatePaths: *paths, Seed: *seed})
 	if err != nil {
 		log.Fatalf("janusd: %v", err)
+	}
+	if *dataDir != "" {
+		st, err := store.Open(store.OSFS(), *dataDir, store.Options{SnapshotEvery: *snapEvery})
+		if err != nil {
+			log.Fatalf("janusd: opening data dir: %v", err)
+		}
+		if err := s.AttachStore(st); err != nil {
+			log.Fatalf("janusd: %v", err)
+		}
+		info := st.RecoveryInfo()
+		log.Printf("janusd: durable state in %s: generation %d, %d records replayed (last seq %d) in %v",
+			*dataDir, info.Generation, info.ReplayedRecords, info.LastSeq, info.Duration)
+		if info.TornTail {
+			log.Printf("janusd: journal tail was torn; truncated at last valid record")
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,5 +128,10 @@ func main() {
 		log.Printf("janusd: serve: %v", err)
 	}
 	<-tickerDone
+	if err := s.Checkpoint(); err != nil {
+		log.Printf("janusd: %v", err)
+	} else if *dataDir != "" {
+		log.Printf("janusd: shutdown snapshot written; next boot replays zero records")
+	}
 	log.Printf("janusd: stopped")
 }

@@ -17,6 +17,7 @@
 package compose
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -92,6 +93,23 @@ const (
 
 func (c Conflict) String() string {
 	return fmt.Sprintf("%s: %s -> %s: %s", c.Kind, c.Src, c.Dst, c.Detail)
+}
+
+// UnmarshalJSON decodes a serialized composed graph and rebuilds the
+// unexported key index, so graphs recovered from the durable store answer
+// Lookup exactly like freshly composed ones.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	type plain Graph // shed methods to avoid recursing into this unmarshaler
+	var p plain
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*g = Graph(p)
+	g.byKey = make(map[string]*Policy, len(g.Policies))
+	for _, pol := range g.Policies {
+		g.byKey[pol.Key()] = pol
+	}
+	return nil
 }
 
 // Lookup returns the policy for a composed (src,dst) EPG key pair.

@@ -124,10 +124,14 @@ type Configurator struct {
 	scheme *labels.Scheme
 }
 
-// New builds a Configurator. The topology must validate and carry the
-// endpoints referenced by the composed graph's EPGs.
+// New builds a Configurator. The topology must be structurally valid and
+// carry the endpoints referenced by the composed graph's EPGs. Connectivity
+// is not required — a runtime that quarantined a switch reconfigures (and
+// restores from the durable store) over a legitimately disconnected
+// topology; flows that lost all paths surface as solver degradation, not a
+// construction error.
 func New(t *topo.Topology, g *compose.Graph, cfg Config) (*Configurator, error) {
-	if err := t.Validate(); err != nil {
+	if err := t.ValidateStructure(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	cfg = cfg.withDefaults()

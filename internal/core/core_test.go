@@ -690,13 +690,27 @@ func TestCandidateSubsetStillSolves(t *testing.T) {
 func TestInvalidTopologyRejected(t *testing.T) {
 	tp := topo.NewTopology("bad")
 	tp.AddSwitch("")
-	tp.AddSwitch("") // disconnected
+	// A link referencing a node that does not exist is structurally
+	// invalid and must be rejected.
+	tp.Links = append(tp.Links, topo.Link{From: 0, To: 99, Capacity: 10})
 	cg, err := compose.New(nil).Compose()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := New(tp, cg, Config{}); err == nil {
-		t.Error("disconnected topology should be rejected")
+		t.Error("structurally invalid topology should be rejected")
+	}
+
+	// A merely disconnected topology is accepted: quarantine legitimately
+	// disconnects switches, and a restored runtime must be constructible
+	// from such a topology. Connectivity is enforced at input boundaries
+	// (topo.Validate in server.New and the CLIs), and flows that lost all
+	// paths surface as solver degradation, not a constructor error.
+	disc := topo.NewTopology("disc")
+	disc.AddSwitch("")
+	disc.AddSwitch("")
+	if _, err := New(disc, cg, Config{}); err != nil {
+		t.Errorf("disconnected topology should be accepted by New, got %v", err)
 	}
 }
 

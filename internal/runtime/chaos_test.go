@@ -46,13 +46,13 @@ func chaosSetup(t *testing.T) (*core.Configurator, map[string]topo.NodeID) {
 	link(bc, sw["core1"])
 	link(sw["agg"], hids)
 	link(hids, sw["core2"])
-	for name, at := range map[string][2]string{
-		"c1":  {"e1", "Clients"},
-		"c2":  {"e2", "Clients"},
-		"web": {"core2", "Web"},
-		"db":  {"core1", "DB"},
+	for _, ep := range []struct{ name, at, label string }{
+		{"c1", "e1", "Clients"},
+		{"c2", "e2", "Clients"},
+		{"web", "core2", "Web"},
+		{"db", "core1", "DB"},
 	} {
-		if err := tp.AddEndpoint(name, sw[at[0]], at[1]); err != nil {
+		if err := tp.AddEndpoint(ep.name, sw[ep.at], ep.label); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 	"time"
 )
@@ -16,8 +17,9 @@ type RetryPolicy struct {
 	Base time.Duration
 	// Cap bounds the backoff.
 	Cap time.Duration
-	// Sleep performs the wait; nil means time.Sleep.
-	Sleep func(time.Duration)
+	// Sleep performs the wait; a cancelled context must abort it early.
+	// Nil means a timer that returns as soon as ctx is done.
+	Sleep func(ctx context.Context, d time.Duration)
 	// Rand supplies jitter; nil means a fixed-seed source (deterministic
 	// runs by default).
 	Rand *rand.Rand
@@ -44,12 +46,24 @@ func (p RetryPolicy) normalize() RetryPolicy {
 		p.Cap = p.Base
 	}
 	if p.Sleep == nil {
-		p.Sleep = time.Sleep
+		p.Sleep = sleepContext
 	}
 	if p.Rand == nil {
 		p.Rand = rand.New(rand.NewSource(1))
 	}
 	return p
+}
+
+// sleepContext is the default Sleep: it waits for d but returns immediately
+// when ctx is cancelled, so a shutting-down runtime never sits out a full
+// jitter interval.
+func sleepContext(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // backoff returns the capped exponential wait before retry number

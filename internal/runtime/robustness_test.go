@@ -19,7 +19,7 @@ import (
 func noSleepPolicy() RetryPolicy {
 	return RetryPolicy{
 		MaxAttempts: 4,
-		Sleep:       func(time.Duration) {},
+		Sleep:       func(context.Context, time.Duration) {},
 		Rand:        rand.New(rand.NewSource(99)),
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"janus/internal/core"
 	"janus/internal/dataplane"
 	"janus/internal/policy"
+	"janus/internal/store"
 	"janus/internal/topo"
 )
 
@@ -88,6 +89,11 @@ type Runtime struct {
 	metrics  Metrics
 
 	retry RetryPolicy
+	// journal, when non-nil, receives one durable record per public
+	// mutation before the mutation is acknowledged; pendingOps accumulates
+	// the topology deltas the current mutation performed.
+	journal    Journal
+	pendingOps []store.TopoOp
 	// failedLinks remembers the capacity of links removed by FailLink or
 	// quarantine, keyed by normalized endpoint pair, so RestoreLink can put
 	// them back.
@@ -220,7 +226,10 @@ func (r *Runtime) applyPlanWithRetry(ctx context.Context, plan *dataplane.Update
 	for attempt := 1; attempt <= r.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			r.metrics.ApplyRetries++
-			r.retry.Sleep(r.retry.backoff(attempt - 1))
+			r.retry.Sleep(ctx, r.retry.backoff(attempt-1))
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w (retry sleep aborted: %v)", err, ctx.Err())
+			}
 		}
 		if err = r.net.ApplyPlan(plan); err == nil {
 			return nil
@@ -256,6 +265,7 @@ func (r *Runtime) quarantine(ctx context.Context, sw topo.NodeID, cause error) e
 		if err := r.topo.RemoveLink(sw, nb); err != nil {
 			continue
 		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoRemoveLink, A: sw, B: nb})
 		r.failedLinks[linkKey(sw, nb)] = capacity
 	}
 	r.conf.InvalidatePaths()
@@ -284,26 +294,35 @@ func (r *Runtime) Audit() []check.Violation {
 // MoveEndpoint relocates an endpoint and reconfigures incrementally
 // (warm start + path-change penalty, §5.4).
 func (r *Runtime) MoveEndpoint(ctx context.Context, name string, to topo.NodeID) error {
-	if err := r.topo.MoveEndpoint(name, to); err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindReconfigure, func(rec *store.Record) error {
+		if err := r.topo.MoveEndpoint(name, to); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoMove, Endpoint: name, Node: to})
+		return r.reconfigure(ctx)
+	})
 }
 
 // RelabelEndpoint changes an endpoint's group membership and reconfigures.
 func (r *Runtime) RelabelEndpoint(ctx context.Context, name string, labels ...string) error {
-	if err := r.topo.RelabelEndpoint(name, labels...); err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindReconfigure, func(rec *store.Record) error {
+		if err := r.topo.RelabelEndpoint(name, labels...); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoRelabel, Endpoint: name, Labels: labels})
+		return r.reconfigure(ctx)
+	})
 }
 
 // AddEndpoint attaches a new endpoint and reconfigures (membership growth).
 func (r *Runtime) AddEndpoint(ctx context.Context, name string, at topo.NodeID, labels ...string) error {
-	if err := r.topo.AddEndpoint(name, at, labels...); err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindReconfigure, func(rec *store.Record) error {
+		if err := r.topo.AddEndpoint(name, at, labels...); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoAddEndpoint, Endpoint: name, Node: at, Labels: labels})
+		return r.reconfigure(ctx)
+	})
 }
 
 func (r *Runtime) reconfigure(ctx context.Context) error {
@@ -374,59 +393,67 @@ func linkKey(a, b topo.NodeID) [2]topo.NodeID {
 // used the failed link are no longer candidates and reroute. The link's
 // capacity is remembered so RestoreLink can undo the failure.
 func (r *Runtime) FailLink(ctx context.Context, a, b topo.NodeID) error {
-	capacity, ok := r.topo.LinkCapacity(a, b)
-	if !ok {
-		return fmt.Errorf("runtime: no link %d-%d", a, b)
-	}
-	if err := r.topo.RemoveLink(a, b); err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	r.failedLinks[linkKey(a, b)] = capacity
-	r.conf.InvalidatePaths()
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindLinkFail, func(rec *store.Record) error {
+		capacity, ok := r.topo.LinkCapacity(a, b)
+		if !ok {
+			return fmt.Errorf("runtime: no link %d-%d", a, b)
+		}
+		if err := r.topo.RemoveLink(a, b); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoRemoveLink, A: a, B: b})
+		r.failedLinks[linkKey(a, b)] = capacity
+		r.conf.InvalidatePaths()
+		return r.reconfigure(ctx)
+	})
 }
 
 // RestoreLink re-adds a link previously removed by FailLink (or by a
 // quarantine) at its remembered capacity and reconfigures so flows can
 // move back onto their preferred paths.
 func (r *Runtime) RestoreLink(ctx context.Context, a, b topo.NodeID) error {
-	capacity, ok := r.failedLinks[linkKey(a, b)]
-	if !ok {
-		return fmt.Errorf("runtime: link %d-%d was not failed", a, b)
-	}
-	if err := r.topo.AddLink(a, b, capacity); err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	delete(r.failedLinks, linkKey(a, b))
-	r.conf.InvalidatePaths()
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindLinkRestore, func(rec *store.Record) error {
+		capacity, ok := r.failedLinks[linkKey(a, b)]
+		if !ok {
+			return fmt.Errorf("runtime: link %d-%d was not failed", a, b)
+		}
+		if err := r.topo.AddLink(a, b, capacity); err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.noteTopoOp(store.TopoOp{Op: store.TopoAddLink, A: a, B: b, Capacity: capacity})
+		delete(r.failedLinks, linkKey(a, b))
+		r.conf.InvalidatePaths()
+		return r.reconfigure(ctx)
+	})
 }
 
 // AdvanceTo moves the clock to hour h; if the composed graph changes
 // periods in between, each boundary's configuration is applied in order.
 // On error the clock stops at the last successfully applied boundary.
 func (r *Runtime) AdvanceTo(ctx context.Context, h int) error {
-	if h < 0 || h >= policy.HoursPerDay {
-		return fmt.Errorf("runtime: hour %d out of range", h)
-	}
-	periods := r.graph.Periods()
-	// Collect boundaries crossed while walking forward from r.hour to h.
-	cur := r.hour
-	for cur != h {
-		cur = (cur + 1) % policy.HoursPerDay
-		if containsInt(periods, cur) {
-			res, err := r.conf.ReconfigureAtContext(ctx, r.current, cur)
-			if err != nil {
-				return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
-			}
-			if err := r.install(ctx, r.escalate(res, cur), cur); err != nil {
-				return err
-			}
-			r.hour = cur
+	return r.journalOp(store.KindTick, func(rec *store.Record) error {
+		if h < 0 || h >= policy.HoursPerDay {
+			return fmt.Errorf("runtime: hour %d out of range", h)
 		}
-	}
-	r.hour = h
-	return nil
+		periods := r.graph.Periods()
+		// Collect boundaries crossed while walking forward from r.hour to h.
+		cur := r.hour
+		for cur != h {
+			cur = (cur + 1) % policy.HoursPerDay
+			if containsInt(periods, cur) {
+				res, err := r.conf.ReconfigureAtContext(ctx, r.current, cur)
+				if err != nil {
+					return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
+				}
+				if err := r.install(ctx, r.escalate(res, cur), cur); err != nil {
+					return err
+				}
+				r.hour = cur
+			}
+		}
+		r.hour = h
+		return nil
+	})
 }
 
 // ReportEvent increments a flow's event counter (e.g. a failed connection
@@ -435,47 +462,51 @@ func (r *Runtime) AdvanceTo(ctx context.Context, h int) error {
 // re-solving (§5.3: "it could reserve paths for changed policy beforehand
 // ... no other policy will have to change its path").
 func (r *Runtime) ReportEvent(ctx context.Context, src, dst string, ev policy.Event, delta int) error {
-	flow := src + "->" + dst
-	if r.counters[flow] == nil {
-		r.counters[flow] = map[policy.Event]int{}
-	}
-	r.counters[flow][ev] += delta
+	return r.journalOp(store.KindCounter, func(rec *store.Record) error {
+		flow := src + "->" + dst
+		if r.counters[flow] == nil {
+			r.counters[flow] = map[policy.Event]int{}
+		}
+		r.counters[flow][ev] += delta
+		rec.Counter = &store.CounterDelta{Src: src, Dst: dst, Event: ev, Delta: delta}
 
-	// Find the composed policy for this endpoint pair.
-	pid, p := r.policyFor(src, dst)
-	if p == nil {
-		return fmt.Errorf("runtime: no policy covers flow %s", flow)
-	}
-	edge, ok := compose.ActiveEdge(p, r.hour, r.counters[flow])
-	if !ok {
-		return nil // no active edge: traffic dropped by policy
-	}
-	edgeIdx := indexOfEdge(p, edge)
-	if edgeIdx <= 0 {
-		return nil // default edge active; nothing to reroute
-	}
-	// Locate the reserved soft assignment for this (policy, edge, pair).
-	for _, a := range r.current.Assignments {
-		if a.Policy == pid && a.EdgeIdx == edgeIdx && a.Src == src && a.Dst == dst {
-			// Promote the reservation to installed rules for this flow.
-			promoted := *r.current
-			promoted.Assignments = append([]core.Assignment(nil), r.current.Assignments...)
-			for i := range promoted.Assignments {
-				pa := &promoted.Assignments[i]
-				if pa.Policy == pid && pa.Src == src && pa.Dst == dst {
-					if pa.EdgeIdx == edgeIdx {
-						pa.Role = core.HardEdge
-					} else if pa.Role == core.HardEdge {
-						pa.Role = core.SoftEdge // demote the old default path
+		// Find the composed policy for this endpoint pair.
+		pid, p := r.policyFor(src, dst)
+		if p == nil {
+			return fmt.Errorf("runtime: no policy covers flow %s", flow)
+		}
+		edge, ok := compose.ActiveEdge(p, r.hour, r.counters[flow])
+		if !ok {
+			return nil // no active edge: traffic dropped by policy
+		}
+		edgeIdx := indexOfEdge(p, edge)
+		if edgeIdx <= 0 {
+			return nil // default edge active; nothing to reroute
+		}
+		rec.Kind = store.KindEscalate
+		// Locate the reserved soft assignment for this (policy, edge, pair).
+		for _, a := range r.current.Assignments {
+			if a.Policy == pid && a.EdgeIdx == edgeIdx && a.Src == src && a.Dst == dst {
+				// Promote the reservation to installed rules for this flow.
+				promoted := *r.current
+				promoted.Assignments = append([]core.Assignment(nil), r.current.Assignments...)
+				for i := range promoted.Assignments {
+					pa := &promoted.Assignments[i]
+					if pa.Policy == pid && pa.Src == src && pa.Dst == dst {
+						if pa.EdgeIdx == edgeIdx {
+							pa.Role = core.HardEdge
+						} else if pa.Role == core.HardEdge {
+							pa.Role = core.SoftEdge // demote the old default path
+						}
 					}
 				}
+				r.metrics.StatefulReroutes++
+				return r.install(ctx, &promoted, r.hour)
 			}
-			r.metrics.StatefulReroutes++
-			return r.install(ctx, &promoted, r.hour)
 		}
-	}
-	// No reservation (ξ was 1): a full reconfiguration is needed.
-	return r.reconfigure(ctx)
+		// No reservation (ξ was 1): a full reconfiguration is needed.
+		return r.reconfigure(ctx)
+	})
 }
 
 func (r *Runtime) policyFor(src, dst string) (int, *compose.Policy) {
@@ -500,14 +531,20 @@ func (r *Runtime) policyFor(src, dst string) (int, *compose.Policy) {
 // UpdateGraph swaps in a new composed policy graph (graph churn, §2.2) and
 // reconfigures with path-change minimization against the previous state.
 func (r *Runtime) UpdateGraph(ctx context.Context, g *compose.Graph, cfg core.Config) error {
-	conf, err := core.New(r.topo, g, cfg)
-	if err != nil {
-		return fmt.Errorf("runtime: %w", err)
-	}
-	r.conf = conf
-	r.graph = g
-	r.adapter = dataplane.NewGraphAdapter(g)
-	return r.reconfigure(ctx)
+	return r.journalOp(store.KindConfigure, func(rec *store.Record) error {
+		conf, err := core.New(r.topo, g, cfg)
+		if err != nil {
+			return fmt.Errorf("runtime: %w", err)
+		}
+		r.conf = conf
+		r.graph = g
+		r.adapter = dataplane.NewGraphAdapter(g)
+		// A graph swap re-journals the full topology and composed graph so
+		// replay never depends on records older than the swap.
+		rec.Topo = r.topo
+		rec.Graph = g
+		return r.reconfigure(ctx)
+	})
 }
 
 // Verify walks every configured hard assignment through the dataplane and

@@ -50,5 +50,5 @@ func (s *Server) advanceHour(ctx context.Context) error {
 	if s.rt == nil {
 		return nil // nothing configured yet; the ticker idles
 	}
-	return s.rt.AdvanceTo(ctx, (s.rt.Hour()+1)%policy.HoursPerDay)
+	return s.rt.AdvanceTo(ctx, (s.rt.Hour()+1)%policy.HoursPerDay) //janus:allow(lockorder): the retry backoff's ctx-aware sleep runs under the config lock by design; it is bounded by Cap and aborts on cancellation
 }

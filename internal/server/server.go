@@ -25,6 +25,12 @@
 //	POST   /inject               install a dataplane fault plan (see
 //	                             injectRequest); an empty body clears it
 //	GET    /inject               the active fault plan and injector stats
+//	GET    /status               controller liveness: quarantined switches,
+//	                             remembered link capacities, recovery info
+//
+// With a store attached (AttachStore), every northbound mutation — writer
+// graph PUT/DELETE and every runtime event — is journaled durably before it
+// is acknowledged, and boot restores the last recovered state.
 //
 // All handlers are safe for concurrent use; state is guarded by one mutex
 // (configuration solves dominate, so finer locking buys nothing).
@@ -46,6 +52,7 @@ import (
 	"janus/internal/intent"
 	"janus/internal/policy"
 	"janus/internal/runtime"
+	"janus/internal/store"
 	"janus/internal/topo"
 )
 
@@ -60,6 +67,7 @@ type Server struct {
 	mu     sync.Mutex
 	graphs map[string]*policy.Graph
 	rt     *runtime.Runtime // nil until the first successful /configure
+	st     *store.Store     // nil unless AttachStore wired durability in
 }
 
 // New builds a controller for the given topology and solver configuration.
@@ -75,6 +83,73 @@ func New(t *topo.Topology, cfg core.Config) (*Server, error) {
 	}
 	s.routes()
 	return s, nil
+}
+
+// AttachStore wires a durability store into the controller. Any state the
+// store recovered is restored first — writer graphs always, and the full
+// runtime (composed graph, escalated chains, quarantine set, remembered
+// link capacities) whenever a configuration was journaled — then the store
+// becomes the journal for every subsequent northbound mutation. Call once,
+// before serving.
+func (s *Server) AttachStore(st *store.Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if state := st.RecoveredState(); state != nil {
+		for name, g := range state.Writers {
+			s.graphs[name] = g
+		}
+		if state.Result != nil {
+			rt, err := runtime.Restore(state, s.cfg, st)
+			if err != nil {
+				return fmt.Errorf("server: restoring runtime: %w", err)
+			}
+			s.rt = rt
+		}
+	}
+	s.st = st
+	st.SetSnapshotSource(s.snapshotStateLocked)
+	return nil
+}
+
+// snapshotStateLocked assembles the full durable state: the runtime's view
+// plus the northbound writer-graph registry. It runs from store.Append —
+// whose callers all hold s.mu — and from the shutdown snapshot after the
+// listener has drained, so it must not take s.mu itself (that would
+// self-deadlock under Append).
+func (s *Server) snapshotStateLocked() *store.State {
+	state := &store.State{}
+	if s.rt != nil {
+		state = s.rt.State()
+	}
+	if len(s.graphs) > 0 {
+		writers := make(map[string]*policy.Graph, len(s.graphs))
+		for name, g := range s.graphs {
+			writers[name] = g
+		}
+		state.Writers = writers
+	}
+	return state
+}
+
+// Checkpoint snapshots the durable state and closes the store; janusd calls
+// it on graceful shutdown, after the HTTP listener has drained, so the next
+// boot loads the snapshot and replays zero records. Without an attached
+// store it is a no-op.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	st := s.st
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	if err := st.SnapshotNow(); err != nil {
+		closeErr := st.Close()
+		if closeErr != nil {
+			return fmt.Errorf("server: shutdown snapshot: %v (and close: %w)", err, closeErr)
+		}
+		return fmt.Errorf("server: shutdown snapshot: %w", err)
+	}
+	return st.Close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -97,6 +172,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/events/linkfail", s.handleLinkFail)
 	s.mux.HandleFunc("/events/linkrestore", s.handleLinkRestore)
 	s.mux.HandleFunc("/inject", s.handleInject)
+	s.mux.HandleFunc("/status", s.handleStatus)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -130,21 +206,44 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Lock()
 		s.graphs[name] = g
+		err = s.journalWriterLocked(store.KindWriterPut, name, g)
 		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "graph accepted in memory but not durable: %v", err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"graph": name, "edges": len(g.Edges)})
 	case http.MethodDelete:
 		s.mu.Lock()
 		_, existed := s.graphs[name]
 		delete(s.graphs, name)
+		var err error
+		if existed {
+			err = s.journalWriterLocked(store.KindWriterDelete, name, nil)
+		}
 		s.mu.Unlock()
 		if !existed {
 			httpError(w, http.StatusNotFound, "graph %q not found", name)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "graph deleted in memory but not durable: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "use PUT or DELETE")
 	}
+}
+
+// journalWriterLocked appends a writer-graph record (PUT carries the graph,
+// DELETE just the name) before the change is acknowledged. Callers hold
+// s.mu. A nil store makes it a no-op.
+func (s *Server) journalWriterLocked(kind store.Kind, name string, g *policy.Graph) error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Append(&store.Record{Kind: kind, Writer: name, WriterGraph: g})
 }
 
 func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
@@ -229,13 +328,18 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
-		rt, err := runtime.New(r.Context(), conf)
+		var rt *runtime.Runtime
+		if s.st != nil {
+			rt, err = runtime.NewDurable(r.Context(), conf, s.st) //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
+		} else {
+			rt, err = runtime.New(r.Context(), conf) //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
+		}
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		s.rt = rt
-	} else if err := s.rt.UpdateGraph(r.Context(), cg, s.cfg); err != nil {
+	} else if err := s.rt.UpdateGraph(r.Context(), cg, s.cfg); err != nil { //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -336,12 +440,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Quarantined []topo.NodeID        `json:"quarantined,omitempty"`
 		Crashed     []topo.NodeID        `json:"crashed,omitempty"`
 		FaultStats  dataplane.FaultStats `json:"faultStats"`
+		Durability  *durabilityMetrics   `json:"durability,omitempty"`
 	}{
 		Metrics:     rt.Metrics(),
 		Tier:        rt.Current().Tier.String(),
 		Quarantined: rt.Quarantined(),
 		Crashed:     rt.Network().CrashedSwitches(),
 		FaultStats:  rt.Network().FaultStats(),
+		Durability:  s.durabilityMetricsLocked(),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// durabilityMetrics surfaces the store's counters on /metrics: journal
+// appends, fsyncs, snapshots taken, and how long boot recovery took.
+type durabilityMetrics struct {
+	store.Stats
+	RecoveryMillis int64 `json:"recoveryMillis"`
+}
+
+func (s *Server) durabilityMetricsLocked() *durabilityMetrics {
+	if s.st == nil {
+		return nil
+	}
+	return &durabilityMetrics{
+		Stats:          s.st.Stats(),
+		RecoveryMillis: s.st.RecoveryInfo().Duration.Milliseconds(),
+	}
+}
+
+// handleStatus reports controller liveness without requiring a
+// configuration: the policy hour, serving tier, quarantined switch IDs,
+// the link capacities remembered for restoration, and — with a store
+// attached — what recovery found at boot.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := struct {
+		Configured      bool               `json:"configured"`
+		Hour            int                `json:"hour"`
+		Tier            string             `json:"tier,omitempty"`
+		Quarantined     []topo.NodeID      `json:"quarantined"`
+		RememberedLinks []store.FailedLink `json:"rememberedLinks"`
+		Durable         bool               `json:"durable"`
+		Recovery        *store.RecoveryInfo `json:"recovery,omitempty"`
+	}{
+		Quarantined:     []topo.NodeID{},
+		RememberedLinks: []store.FailedLink{},
+	}
+	if s.rt != nil {
+		out.Configured = true
+		out.Hour = s.rt.Hour()
+		out.Tier = s.rt.Current().Tier.String()
+		out.Quarantined = s.rt.Quarantined()
+		out.RememberedLinks = s.rt.RememberedLinks()
+	}
+	if s.st != nil {
+		out.Durable = true
+		info := s.st.RecoveryInfo()
+		out.Recovery = &info
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -429,7 +590,7 @@ func (s *Server) eventHandler(w http.ResponseWriter, r *http.Request, req any, a
 	if rt == nil {
 		return
 	}
-	if err := apply(r.Context(), rt); err != nil {
+	if err := apply(r.Context(), rt); err != nil { //janus:allow(lockorder): event handlers solve and retry (ctx-aware backoff sleeps) under the config lock by design
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}

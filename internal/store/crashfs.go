@@ -1,0 +1,305 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every CrashFS operation once the simulated
+// crash has fired: the "process" is dead and nothing more reaches the disk
+// until Restart.
+var ErrCrashed = errors.New("crashfs: simulated crash")
+
+// CrashFS is a deterministic in-memory filesystem modelling a disk with
+// explicit durability: written bytes sit in a per-file unsynced buffer
+// until Sync moves them to stable storage, and a seeded crash plan can kill
+// the process at any counted operation (Write, Sync, Rename). The crash
+// semantics mirror real failure modes:
+//
+//   - crash on a Write keeps a seeded prefix of the buffer — a torn write;
+//   - crash on a Sync flushes a seeded prefix of the unsynced bytes — a
+//     partial fsync;
+//   - crash on a Rename lands on either side of the swap, seeded — a
+//     failed (or lost) rename;
+//   - Restart discards every file's unsynced bytes — the mid-update kill.
+//
+// After Restart the filesystem is usable again and holds exactly what a
+// real disk would after a power cut at that operation.
+type CrashFS struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	files      map[string]*memFile
+	dirs       map[string]bool
+	ops        int // counted durability operations so far
+	crashAfter int // crash fires on the Nth counted op; 0 disables
+	crashed    bool
+}
+
+type memFile struct {
+	synced   []byte
+	unsynced []byte
+}
+
+// NewCrashFS returns a crash-injectable in-memory filesystem whose torn
+// prefixes and rename coin-flips are drawn from the given seed.
+func NewCrashFS(seed int64) *CrashFS {
+	return &CrashFS{
+		rng:   rand.New(rand.NewSource(seed)),
+		files: map[string]*memFile{},
+		dirs:  map[string]bool{},
+	}
+}
+
+// SetCrashAfter arms the crash to fire on the nth counted operation from
+// now (n <= 0 disarms). Counted operations are Write, Sync, and Rename —
+// the calls that change what survives a power cut.
+func (c *CrashFS) SetCrashAfter(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		c.crashAfter = 0
+		return
+	}
+	c.crashAfter = c.ops + n
+}
+
+// Ops returns the number of counted durability operations performed.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Restart models the machine coming back up: unsynced bytes are gone,
+// synced bytes survive, and the filesystem accepts operations again. The
+// crash plan is disarmed; re-arm with SetCrashAfter for another round.
+func (c *CrashFS) Restart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.files {
+		f.unsynced = nil
+	}
+	c.crashed = false
+	c.crashAfter = 0
+}
+
+// countOpLocked advances the op counter and reports whether this operation is the
+// crash point. Callers must hold c.mu.
+func (c *CrashFS) countOpLocked() bool {
+	c.ops++
+	return c.crashAfter > 0 && c.ops >= c.crashAfter
+}
+
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range c.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := c.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: %s: no such file", name)
+	}
+	out := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	out = append(out, f.synced...)
+	out = append(out, f.unsynced...)
+	return out, nil
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	name = filepath.Clean(name)
+	f := &memFile{}
+	c.files[name] = f
+	return &crashFile{fs: c, f: f}, nil
+}
+
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	name = filepath.Clean(name)
+	f, ok := c.files[name]
+	if !ok {
+		f = &memFile{}
+		c.files[name] = f
+	}
+	return &crashFile{fs: c, f: f}, nil
+}
+
+func (c *CrashFS) Rename(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	oldName, newName = filepath.Clean(oldName), filepath.Clean(newName)
+	f, ok := c.files[oldName]
+	if !ok {
+		return fmt.Errorf("crashfs: rename %s: no such file", oldName)
+	}
+	if c.countOpLocked() {
+		c.crashed = true
+		// The power cut lands on either side of the atomic swap.
+		if c.rng.Intn(2) == 0 {
+			delete(c.files, oldName)
+			c.files[newName] = f
+		}
+		return ErrCrashed
+	}
+	delete(c.files, oldName)
+	c.files[newName] = f
+	return nil
+}
+
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	name = filepath.Clean(name)
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("crashfs: remove %s: no such file", name)
+	}
+	delete(c.files, name)
+	return nil
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	f, ok := c.files[filepath.Clean(name)]
+	if !ok {
+		return fmt.Errorf("crashfs: truncate %s: no such file", name)
+	}
+	total := int64(len(f.synced) + len(f.unsynced))
+	if size >= total {
+		return nil
+	}
+	if size <= int64(len(f.synced)) {
+		f.synced = f.synced[:size]
+		f.unsynced = nil
+		return nil
+	}
+	f.unsynced = f.unsynced[:size-int64(len(f.synced))]
+	return nil
+}
+
+// crashFile is an open handle onto a memFile.
+type crashFile struct {
+	fs *CrashFS
+	f  *memFile
+}
+
+func (h *crashFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.fs.countOpLocked() {
+		h.fs.crashed = true
+		// Torn write: a seeded prefix of the buffer reaches the page cache
+		// before the crash.
+		keep := h.fs.rng.Intn(len(p) + 1)
+		h.f.unsynced = append(h.f.unsynced, p[:keep]...)
+		return keep, ErrCrashed
+	}
+	h.f.unsynced = append(h.f.unsynced, p...)
+	return len(p), nil
+}
+
+func (h *crashFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if h.fs.countOpLocked() {
+		h.fs.crashed = true
+		// Partial fsync: a seeded prefix of the dirty bytes made it to
+		// stable storage before the crash.
+		keep := h.fs.rng.Intn(len(h.f.unsynced) + 1)
+		h.f.synced = append(h.f.synced, h.f.unsynced[:keep]...)
+		h.f.unsynced = h.f.unsynced[keep:]
+		return ErrCrashed
+	}
+	h.f.synced = append(h.f.synced, h.f.unsynced...)
+	h.f.unsynced = nil
+	return nil
+}
+
+func (h *crashFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Dump lists the filesystem's contents for debugging soak failures.
+func (c *CrashFS) Dump() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for name := range c.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := c.files[name]
+		fmt.Fprintf(&b, "%s: %d synced + %d unsynced bytes\n", name, len(f.synced), len(f.unsynced))
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the handful of filesystem operations the store performs, so
+// the crash-injection harness (CrashFS) can substitute a simulated disk
+// with precise sync/crash semantics. Production uses OSFS.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Create truncates or creates the file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens (creating if needed) the file for appending.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newName with oldName.
+	Rename(oldName, newName string) error
+	// Remove deletes the file.
+	Remove(name string) error
+	// Truncate cuts the file to size bytes (the torn-tail repair on
+	// recovery).
+	Truncate(name string, size int64) error
+}
+
+// File is a writable handle with durability control.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation backed by the os
+// package.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Rename renames and then fsyncs the parent directory, so the new directory
+// entry is durable before the caller proceeds (the write-temp + rename
+// snapshot protocol depends on it).
+func (osFS) Rename(oldName, newName string) error {
+	if err := os.Rename(oldName, newName); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(newName))
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// syncDir fsyncs a directory so metadata operations (rename, create) inside
+// it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

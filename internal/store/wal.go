@@ -1,0 +1,53 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Journal frame layout: a 4-byte little-endian payload length, a 4-byte
+// little-endian CRC32 (IEEE) of the payload, then the payload itself. A
+// record is valid only if the full frame is present and the checksum
+// matches; anything else is a torn tail and recovery truncates there.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single record so a corrupt length field cannot make
+// recovery attempt a multi-gigabyte read.
+const maxFrameSize = 1 << 26 // 64 MiB
+
+// encodeFrame wraps a payload in the length+CRC32 journal frame.
+func encodeFrame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeaderSize:], payload)
+	return buf
+}
+
+// decodeFrames splits a journal file's bytes into frame payloads. It stops
+// at the first incomplete or checksum-failing frame — the torn tail left by
+// a crash mid-append — and reports the byte length of the valid prefix plus
+// whether a tail was discarded. Bytes past the first bad frame are never
+// trusted: a torn length field makes everything after it unframeable.
+func decodeFrames(data []byte) (payloads [][]byte, validLen int64, torn bool) {
+	off := 0
+	for {
+		if off == len(data) {
+			return payloads, int64(off), false
+		}
+		if len(data)-off < frameHeaderSize {
+			return payloads, int64(off), true
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxFrameSize || len(data)-off-frameHeaderSize < int(length) {
+			return payloads, int64(off), true
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, int64(off), true
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderSize + int(length)
+	}
+}

@@ -263,6 +263,21 @@ func (t *Topology) NodesOfKind(kind NodeKind, nf policy.NFKind) []NodeID {
 // Validate checks structural invariants: link endpoints exist, endpoints
 // attach to switches, the switch graph is connected.
 func (t *Topology) Validate() error {
+	if err := t.ValidateStructure(); err != nil {
+		return err
+	}
+	if len(t.Nodes) > 0 && !t.connected() {
+		return fmt.Errorf("topo: %s is not connected", t.Name)
+	}
+	return nil
+}
+
+// ValidateStructure checks referential integrity only — link endpoints
+// exist, capacities are positive, endpoints attach to switches — without
+// requiring connectivity. A runtime that quarantined a switch legitimately
+// holds a disconnected topology, and recovery must round-trip it; input
+// boundaries that need a connected fabric use Validate.
+func (t *Topology) ValidateStructure() error {
 	for _, l := range t.Links {
 		if err := t.checkNode(l.From); err != nil {
 			return err
@@ -281,9 +296,6 @@ func (t *Topology) Validate() error {
 		if t.Nodes[ep.Attach].Kind != Switch {
 			return fmt.Errorf("topo: endpoint %q attached to non-switch", ep.Name)
 		}
-	}
-	if len(t.Nodes) > 0 && !t.connected() {
-		return fmt.Errorf("topo: %s is not connected", t.Name)
 	}
 	return nil
 }
@@ -352,14 +364,17 @@ func (t *Topology) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*alias)(t))
 }
 
-// UnmarshalJSON decodes and validates the topology.
+// UnmarshalJSON decodes the topology and checks referential integrity.
+// Connectivity is deliberately not required here: durable-store recovery
+// round-trips topologies with quarantined (isolated) switches. Input
+// boundaries that need a connected fabric call Validate explicitly.
 func (t *Topology) UnmarshalJSON(data []byte) error {
 	type alias Topology
 	if err := json.Unmarshal(data, (*alias)(t)); err != nil {
 		return fmt.Errorf("topo: decoding topology: %w", err)
 	}
 	t.invalidate()
-	return t.Validate()
+	return t.ValidateStructure()
 }
 
 // DOT renders the topology in Graphviz dot format for inspection.
