@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"sort"
 
 	"janus/internal/core"
@@ -28,13 +29,28 @@ func NewDurable(ctx context.Context, conf *core.Configurator, j Journal) (*Runti
 	if err != nil {
 		return nil, err
 	}
+	if err := r.EnableJournal(j); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EnableJournal attaches a journal to a running runtime and appends its
+// configuration as the first record. Callers whose snapshot source reads
+// the runtime (the HTTP server) must make the runtime visible to that
+// source BEFORE calling: the configure append can trigger an automatic
+// snapshot whose LastSeq covers the configure record, and a snapshot taken
+// without the runtime would make recovery skip the configuration entirely.
+// On append failure the runtime stays usable but journal-free.
+func (r *Runtime) EnableJournal(j Journal) error {
 	r.journal = j
 	rec := &store.Record{Kind: store.KindConfigure, Topo: r.topo, Graph: r.graph}
 	r.fillRecord(rec)
 	if err := j.Append(rec); err != nil {
-		return nil, fmt.Errorf("runtime: journaling initial configuration: %w", err)
+		r.journal = nil
+		return fmt.Errorf("runtime: journaling initial configuration: %w", err)
 	}
-	return r, nil
+	return nil
 }
 
 // Restore rebuilds a runtime from recovered durable state without
@@ -128,19 +144,29 @@ func (r *Runtime) rememberedLinks() []store.FailedLink {
 // journalOp runs one public mutation and appends exactly one journal record
 // for it before acknowledging. The record is built from post-mutation state,
 // so even a failed event journals whatever it changed (counters bumped
-// before a failing install, links removed by a cascading quarantine). An
-// append failure is reported to the caller: the event happened in memory
-// but is not durable, and the store has wedged itself against further
-// appends.
+// before a failing install, links removed by a cascading quarantine). A
+// failed event that changed nothing at all appends no record: the
+// unauthenticated HTTP API would otherwise let garbage POSTs grow the
+// journal by one fsync'd rollback record each. An append failure is
+// reported to the caller: the event happened in memory but is not durable,
+// and the store has wedged itself against further appends.
 func (r *Runtime) journalOp(kind store.Kind, fn func(rec *store.Record) error) error {
 	if r.journal == nil {
 		return fn(&store.Record{})
 	}
 	r.pendingOps = nil
 	quarBefore := len(r.quarantined)
+	hourBefore := r.hour
+	curBefore := r.current
+	metBefore := r.metrics
 	rec := &store.Record{Kind: kind}
 	opErr := fn(rec)
 	if opErr != nil {
+		if len(r.pendingOps) == 0 && rec.Counter == nil && rec.Graph == nil &&
+			len(r.quarantined) == quarBefore && r.hour == hourBefore &&
+			r.current == curBefore && metricScalarsEqual(metBefore, r.metrics) {
+			return opErr
+		}
 		rec.Kind = store.KindRollback
 		rec.Cause = opErr.Error()
 	} else if len(r.quarantined) > quarBefore {
@@ -154,6 +180,16 @@ func (r *Runtime) journalOp(kind store.Kind, fn func(rec *store.Record) error) e
 		return fmt.Errorf("runtime: event applied but not durable: %w", err)
 	}
 	return opErr
+}
+
+// metricScalarsEqual reports whether two metrics snapshots agree on every
+// scalar counter (TierHistory/TierCounts change only alongside a result
+// swap, which journalOp detects separately). Used to decide whether a
+// failed event mutated anything worth journaling.
+func metricScalarsEqual(a, b Metrics) bool {
+	a.TierHistory, b.TierHistory = nil, nil
+	a.TierCounts, b.TierCounts = nil, nil
+	return reflect.DeepEqual(a, b)
 }
 
 // fillRecord stamps the authoritative post-mutation state onto a record:

@@ -1,0 +1,60 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"janus/internal/policy"
+	"janus/internal/store"
+)
+
+// TestInvalidRequestsJournalNothing asserts that failed events which mutate
+// no runtime state append no journal record: the unauthenticated HTTP API
+// must not let garbage POSTs grow the journal (and pay an fsync each) per
+// request.
+func TestInvalidRequestsJournalNothing(t *testing.T) {
+	fs := store.NewCrashFS(1)
+	st, err := store.Open(fs, "data", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	conf, sw := chaosSetup(t)
+	rt, err := NewDurable(context.Background(), conf, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetRetryPolicy(noSleepPolicy())
+	boot := st.LastSeq()
+	if boot != 1 {
+		t.Fatalf("boot journaled %d records, want 1", boot)
+	}
+
+	ctx := context.Background()
+	invalid := []struct {
+		name string
+		call func() error
+	}{
+		{"hour out of range", func() error { return rt.AdvanceTo(ctx, 99) }},
+		{"uncovered flow", func() error { return rt.ReportEvent(ctx, "ghost", "web", policy.FailedConnections, 1) }},
+		{"no such link", func() error { return rt.FailLink(ctx, sw["e1"], sw["e2"]) }},
+		{"link not failed", func() error { return rt.RestoreLink(ctx, sw["core1"], sw["core2"]) }},
+		{"unknown endpoint", func() error { return rt.MoveEndpoint(ctx, "ghost", sw["agg"]) }},
+	}
+	for _, tc := range invalid {
+		if err := tc.call(); err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
+		}
+		if got := st.LastSeq(); got != boot {
+			t.Fatalf("%s: journal grew to seq %d for a no-op failure", tc.name, got)
+		}
+	}
+
+	// A valid event still journals exactly one record.
+	if err := rt.ReportEvent(ctx, "c1", "web", policy.FailedConnections, 1); err != nil {
+		t.Fatalf("valid counter event: %v", err)
+	}
+	if got := st.LastSeq(); got != boot+1 {
+		t.Fatalf("valid event journaled to seq %d, want %d", got, boot+1)
+	}
+}

@@ -464,17 +464,18 @@ func (r *Runtime) AdvanceTo(ctx context.Context, h int) error {
 func (r *Runtime) ReportEvent(ctx context.Context, src, dst string, ev policy.Event, delta int) error {
 	return r.journalOp(store.KindCounter, func(rec *store.Record) error {
 		flow := src + "->" + dst
+		// Find the composed policy for this endpoint pair before touching
+		// the counter: a flow no policy covers is rejected without mutating
+		// (or journaling) anything.
+		pid, p := r.policyFor(src, dst)
+		if p == nil {
+			return fmt.Errorf("runtime: no policy covers flow %s", flow)
+		}
 		if r.counters[flow] == nil {
 			r.counters[flow] = map[policy.Event]int{}
 		}
 		r.counters[flow][ev] += delta
 		rec.Counter = &store.CounterDelta{Src: src, Dst: dst, Event: ev, Delta: delta}
-
-		// Find the composed policy for this endpoint pair.
-		pid, p := r.policyFor(src, dst)
-		if p == nil {
-			return fmt.Errorf("runtime: no policy covers flow %s", flow)
-		}
 		edge, ok := compose.ActiveEdge(p, r.hour, r.counters[flow])
 		if !ok {
 			return nil // no active edge: traffic dropped by policy

@@ -11,10 +11,10 @@ import (
 
 // durableServer boots a controller with a store over dir on the real
 // filesystem, as janusd -data-dir does.
-func durableServer(t *testing.T, dir string) (*httptest.Server, *Server, *store.Store) {
+func durableServer(t *testing.T, dir string, opts store.Options) (*httptest.Server, *Server, *store.Store) {
 	t.Helper()
 	s, _ := newTestServer(t)
-	st, err := store.Open(store.OSFS(), dir, store.Options{})
+	st, err := store.Open(store.OSFS(), dir, opts)
 	if err != nil {
 		t.Fatalf("opening store: %v", err)
 	}
@@ -38,6 +38,45 @@ func statusSummary(t *testing.T, url string) map[string]any {
 	return body
 }
 
+// TestAutoSnapshotDuringInitialConfigure regression-tests the bootstrap
+// ordering: with a snapshot cadence of 1, the initial configuration's own
+// journal append triggers an automatic snapshot whose LastSeq covers the
+// configure record, so the snapshot must capture the just-built runtime. A
+// snapshot taken before the runtime is visible to the snapshot source would
+// make recovery skip the configure record and silently drop the
+// acknowledged configuration.
+func TestAutoSnapshotDuringInitialConfigure(t *testing.T) {
+	dir := t.TempDir()
+	ts1, _, st1 := durableServer(t, dir, store.Options{SnapshotEvery: 1})
+	if code, body := do(t, http.MethodPut, ts1.URL+"/graphs/web", "text/plain", intentBody); code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	if code, body := do(t, http.MethodPost, ts1.URL+"/configure", "", ""); code != http.StatusOK {
+		t.Fatalf("POST configure: %d %v", code, body)
+	}
+	before := statusSummary(t, ts1.URL)
+	if st1.Stats().Snapshots == 0 {
+		t.Fatal("cadence-1 run took no automatic snapshot")
+	}
+	// Hard stop without the shutdown snapshot, as a crash would.
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	ts2, _, st2 := durableServer(t, dir, store.Options{})
+	if info := st2.RecoveryInfo(); !info.SnapshotLoaded {
+		t.Fatalf("recovery info = %+v, want a snapshot load", info)
+	}
+	after := statusSummary(t, ts2.URL)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("configuration lost across restart\nbefore: %v\nafter:  %v", before, after)
+	}
+	if configured, _ := after["configured"].(bool); !configured {
+		t.Fatalf("recovered controller is unconfigured: %v", after)
+	}
+}
+
 // TestDurableRestartRoundTrip drives a durable controller through its
 // northbound API — graph submission, configuration, an escalation-tripping
 // counter, a link failure — hard-stops it without a shutdown snapshot, and
@@ -47,7 +86,7 @@ func statusSummary(t *testing.T, url string) map[string]any {
 // the shutdown snapshot with zero replayed records.
 func TestDurableRestartRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	ts1, _, st1 := durableServer(t, dir)
+	ts1, _, st1 := durableServer(t, dir, store.Options{})
 	if info := st1.RecoveryInfo(); info.SnapshotLoaded || info.LastSeq != 0 {
 		t.Fatalf("cold start recovered state: %+v", info)
 	}
@@ -82,7 +121,7 @@ func TestDurableRestartRoundTrip(t *testing.T) {
 		t.Fatalf("closing store: %v", err)
 	}
 
-	ts2, s2, st2 := durableServer(t, dir)
+	ts2, s2, st2 := durableServer(t, dir, store.Options{})
 	info := st2.RecoveryInfo()
 	if info.SnapshotLoaded || uint64(info.ReplayedRecords) != acked || info.LastSeq != acked {
 		t.Fatalf("cold recovery info = %+v, want %d replayed records and no snapshot", info, acked)
@@ -110,7 +149,7 @@ func TestDurableRestartRoundTrip(t *testing.T) {
 		t.Fatalf("graceful shutdown: %v", err)
 	}
 
-	ts3, _, st3 := durableServer(t, dir)
+	ts3, _, st3 := durableServer(t, dir, store.Options{})
 	info = st3.RecoveryInfo()
 	if !info.SnapshotLoaded || info.ReplayedRecords != 0 {
 		t.Fatalf("warm recovery info = %+v, want snapshot with zero replayed records", info)

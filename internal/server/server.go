@@ -328,17 +328,23 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
 		}
-		var rt *runtime.Runtime
-		if s.st != nil {
-			rt, err = runtime.NewDurable(r.Context(), conf, s.st) //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
-		} else {
-			rt, err = runtime.New(r.Context(), conf) //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
-		}
+		rt, err := runtime.New(r.Context(), conf) //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		// Publish the runtime to the snapshot source BEFORE its configure
+		// record is journaled: the append can trigger an automatic snapshot
+		// whose LastSeq covers that record, and a snapshot taken while s.rt
+		// is still nil would make recovery skip the configuration.
 		s.rt = rt
+		if s.st != nil {
+			if err := rt.EnableJournal(s.st); err != nil {
+				s.rt = nil
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
 	} else if err := s.rt.UpdateGraph(r.Context(), cg, s.cfg); err != nil { //janus:allow(lockorder): retry backoff sleeps under the config lock by design (bounded by Cap, aborts on cancellation)
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -52,8 +52,8 @@ type RecoveryInfo struct {
 	// ReplayedRecords is the journal suffix length replayed on top of the
 	// snapshot; zero on a warm restart.
 	ReplayedRecords int `json:"replayedRecords"`
-	// TornTail is true when the journal ended in a torn or corrupt record
-	// that recovery truncated.
+	// TornTail is true when the journal ended in a torn, corrupt, or
+	// sequence-discontinuous record that recovery truncated.
 	TornTail bool `json:"tornTail"`
 	// LastSeq is the sequence number of the last durable record.
 	LastSeq uint64 `json:"lastSeq"`
@@ -150,6 +150,7 @@ func Open(fsys FS, dir string, opts Options) (*Store, error) {
 	// tail) ends replay — later records describe state we cannot reach.
 	var records []*Record
 	activeGen := s.gen
+	ended := false // replay hit a gap or torn tail before the last generation's end
 	for _, g := range walGens {
 		if g < s.gen {
 			continue
@@ -160,13 +161,8 @@ func Open(fsys FS, dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: reading %s: %w", path, err)
 		}
 		payloads, validLen, torn := decodeFrames(data)
-		if torn {
-			s.info.TornTail = true
-			if err := fsys.Truncate(path, validLen); err != nil {
-				return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
-			}
-		}
 		stop := false
+		consumed := int64(0)
 		for _, p := range payloads {
 			rec := &Record{}
 			if err := json.Unmarshal(p, rec); err != nil {
@@ -176,12 +172,51 @@ func Open(fsys FS, dir string, opts Options) (*Store, error) {
 				stop = true
 				break
 			}
+			consumed += int64(frameHeaderSize + len(p))
 			records = append(records, rec)
 			s.nextSeq++
 		}
+		// Both endings truncate the journal where replay stopped: a torn
+		// tail at the last whole frame, a sequence gap at the last record
+		// that chained. The gap's stale frames (an abandoned timeline left
+		// by an earlier torn-tail truncation) must go, or appends would land
+		// behind frames every future recovery stops at — losing them.
+		switch {
+		case stop:
+			s.info.TornTail = true
+			if err := fsys.Truncate(path, consumed); err != nil {
+				return nil, fmt.Errorf("store: truncating stale suffix of %s: %w", path, err)
+			}
+		case torn:
+			s.info.TornTail = true
+			if err := fsys.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+			}
+		}
 		activeGen = g
 		if stop || torn {
+			ended = true
 			break
+		}
+	}
+	// When replay ended early, files of later generations belong to the
+	// same abandoned timeline: their records cannot chain from any state we
+	// can reach (a snapshot there would have been the recovery base were it
+	// valid). Remove them so the next boot replays only the live timeline.
+	if ended {
+		for _, g := range walGens {
+			if g > activeGen {
+				if err := fsys.Remove(filepath.Join(dir, walName(g))); err != nil {
+					return nil, fmt.Errorf("store: removing stale %s: %w", walName(g), err)
+				}
+			}
+		}
+		for _, g := range snapGens {
+			if g > activeGen {
+				if err := fsys.Remove(filepath.Join(dir, snapshotName(g))); err != nil {
+					return nil, fmt.Errorf("store: removing stale %s: %w", snapshotName(g), err)
+				}
+			}
 		}
 	}
 	if len(records) > 0 {
@@ -379,16 +414,28 @@ func (s *Store) snapshotLocked(state *State) error {
 	if werr != nil {
 		return fmt.Errorf("store: writing snapshot: %w", werr)
 	}
-	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, snapshotName(newGen))); err != nil {
-		return fmt.Errorf("store: publishing snapshot: %w", err)
-	}
-
-	// The snapshot is durable: rotate the journal so the suffix stays
-	// short, then retire generations beyond the retention window.
+	// Create the next generation's journal BEFORE publishing the snapshot:
+	// were the snapshot published first and the journal create then failed,
+	// appends would keep landing in the old generation's journal, which
+	// recovery — starting from the published snapshot — never reads.
 	wal, err := s.fs.Create(filepath.Join(s.dir, walName(newGen)))
 	if err != nil {
 		return fmt.Errorf("store: rotating journal: %w", err)
 	}
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, snapshotName(newGen))); err != nil {
+		// The unpublished generation's empty journal is harmless if these
+		// fail: recovery chains through an empty journal untruncated.
+		if closeErr := wal.Close(); closeErr != nil {
+			s.stats.GCFailures++
+		}
+		if rmErr := s.fs.Remove(filepath.Join(s.dir, walName(newGen))); rmErr != nil {
+			s.stats.GCFailures++
+		}
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+
+	// The snapshot is durable: swap in the rotated journal so the suffix
+	// stays short, then retire generations beyond the retention window.
 	if err := s.wal.Close(); err != nil {
 		// The old journal is fully synced; a close failure loses nothing.
 		s.stats.GCFailures++

@@ -296,6 +296,102 @@ func TestSnapshotCorruptionFallsBack(t *testing.T) {
 	}
 }
 
+// rewriteFile replaces a file's contents durably (test corruption helper).
+func rewriteFile(t *testing.T, fs FS, path string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequenceGapTruncatesStaleSuffix reconstructs the abandoned-timeline
+// scenario: a snapshot-corruption fallback replays an older journal whose
+// tail was lost to an earlier torn-write truncation, so the next
+// generation's journal holds records that no longer chain. Recovery must
+// truncate those stale frames — otherwise records acked after this recovery
+// would sit behind frames every future recovery stops at, and be lost.
+func TestSequenceGapTruncatesStaleSuffix(t *testing.T) {
+	fs := NewCrashFS(19)
+	s, err := Open(fs, "data", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hour := 0
+	s.SetSnapshotSource(func() *State { return &State{Hour: hour} })
+	for hour = 1; hour <= 3; hour++ {
+		mustAppend(t, s, tickRecord(hour))
+	}
+	if err := s.SnapshotNow(); err != nil { // generation 1; journal rotates
+		t.Fatal(err)
+	}
+	for hour = 4; hour <= 5; hour++ {
+		mustAppend(t, s, tickRecord(hour))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt snapshot 1 so recovery falls back to a cold replay of
+	// generation 0's journal, and cut that journal's last record as an
+	// earlier torn-tail truncation would have: generation 1's records
+	// (seqs 4-5) now chain from a state that no longer exists.
+	snapPath := filepath.Join("data", snapshotName(1))
+	data, err := fs.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	rewriteFile(t, fs, snapPath, data)
+	walPath := filepath.Join("data", walName(0))
+	if data, err = fs.ReadFile(walPath); err != nil {
+		t.Fatal(err)
+	}
+	payloads, _, torn := decodeFrames(data)
+	if torn || len(payloads) != 3 {
+		t.Fatalf("wal 0 has %d records (torn=%v), want 3", len(payloads), torn)
+	}
+	cut := int64(len(data) - frameHeaderSize - len(payloads[len(payloads)-1]))
+	if err := fs.Truncate(walPath, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(fs, "data", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s2.RecoveryInfo()
+	if info.SnapshotLoaded || info.ReplayedRecords != 2 || info.LastSeq != 2 || !info.TornTail {
+		t.Fatalf("gap recovery info = %+v, want 2 replayed records and a truncated tail", info)
+	}
+	// Records acked from here on must survive the next recovery: the stale
+	// frames are gone, so the chain runs straight into the new records.
+	mustAppend(t, s2, tickRecord(3))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(fs, "data", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if info := s3.RecoveryInfo(); info.LastSeq != 3 || info.TornTail {
+		t.Fatalf("post-gap recovery info = %+v, want lastSeq 3 and a clean tail", info)
+	}
+	if got := s3.RecoveredState(); got == nil || got.Hour != 3 {
+		t.Fatalf("recovered state = %+v, want hour 3", s3.RecoveredState())
+	}
+}
+
 func TestGenerationGC(t *testing.T) {
 	fs := NewCrashFS(17)
 	s, err := Open(fs, "data", Options{SnapshotEvery: 1})
