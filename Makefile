@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test test-race chaos crashsoak check bench bench-lp benchdiff fuzz difftest
+.PHONY: all build vet lint lint-sarif test test-race chaos crashsoak fastsoak check bench bench-lp benchdiff fuzz fuzz-fastpath difftest
 
 all: check
 
@@ -46,6 +46,15 @@ crashsoak:
 	$(GO) test -race -count=1 -run 'TestCrashSoak|TestWarmRestartRecoversWithZeroReplay|TestCrashSweepEveryPoint|TestCrashDuringSnapshotRename|TestDurableRestartRoundTrip' \
 		./internal/store/ ./internal/runtime/ ./internal/server/ -v
 
+# fastsoak is the swap-under-load race soak for the compiled
+# flow-classification fast path: reader goroutines hammer compiled lookups
+# while the runtime reconfigures, rolls back, and escalates — every swap
+# republishes the structure atomically. Run under -race; every observed
+# path is replayed post-hoc against the rule set of the generation that
+# served it, and the generation counter must be monotone.
+fastsoak:
+	$(GO) test -race -count=1 -run TestFastpathSwapSoak ./internal/runtime/ -v
+
 # bench regenerates the committed parallel-solver baseline, including the
 # lp_micro simplex microbenchmark section benchdiff gates. Run on the
 # machine whose numbers BENCH.json should reflect, then commit the file.
@@ -77,6 +86,12 @@ difftest:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzLPSolve -fuzztime=$(FUZZTIME) ./internal/lp/
+
+# fuzz-fastpath runs the compiled-vs-interpreted differential fuzzer:
+# random topologies and rule sets, with every (src, dst, proto, port) probe
+# required to return identical paths and errors from both lookups.
+fuzz-fastpath:
+	$(GO) test -fuzz=FuzzCompiledLookup -fuzztime=$(FUZZTIME) ./internal/fastpath/
 
 # check is the full correctness gate CI runs: compile, vet, januslint,
 # and the test suite under the race detector.

@@ -16,7 +16,9 @@
 // Schema v2 baselines additionally carry an lp_micro section (simplex-level
 // cold/warm latency and warm allocations per solve); those are gated with
 // the same relative threshold and a -microfloor absolute floor. Baselines
-// from older schema versions simply skip the newer gates.
+// may also carry a fastpath section (compiled flow-classification latency,
+// gated with -fastfloor, plus a hard zero-allocation check). Baselines
+// missing a section simply skip its gate.
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
 	floor := flag.Duration("floor", 250*time.Millisecond, "absolute slowdown below which jitter is ignored")
 	microFloor := flag.Duration("microfloor", 250*time.Microsecond, "absolute lp_micro slowdown below which jitter is ignored")
+	fastFloor := flag.Duration("fastfloor", 50*time.Nanosecond, "absolute compiled-lookup slowdown below which jitter is ignored")
 	flag.Parse()
 
 	if *candidatePath == "" {
@@ -130,6 +133,42 @@ func main() {
 			regressions++
 		}
 		fmt.Printf("%-12s %-8s base %7.1f    now %7.1f    %s\n", "lp_micro", "allocs", ba, ca, mark)
+	}
+
+	// Fastpath gate: compiled flow-classification latency and its zero-alloc
+	// guarantee. Phases in like lp_micro — baselines recorded before the
+	// section existed skip it. The interpreted side and the speedup ratio
+	// are informational: the compiled number is what flow arrivals pay.
+	switch {
+	case base.Fastpath == nil:
+		fmt.Println("fastpath      baseline has no fastpath section; gate skipped")
+	case cand.Fastpath == nil:
+		fmt.Println("fastpath      candidate has no fastpath section; gate skipped")
+	default:
+		bf, cf := base.Fastpath, cand.Fastpath
+		delta := cf.CompiledNanosPerLookup - bf.CompiledNanosPerLookup
+		rel := 0.0
+		if bf.CompiledNanosPerLookup > 0 {
+			rel = delta / bf.CompiledNanosPerLookup
+		}
+		mark := "ok"
+		if rel > *threshold && delta > float64(fastFloor.Nanoseconds()) {
+			mark = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-12s %-8s base %7.1fns  now %7.1fns  (%+.1f%%)  %s\n",
+			"fastpath", "compiled", bf.CompiledNanosPerLookup, cf.CompiledNanosPerLookup, 100*rel, mark)
+		fmt.Printf("%-12s %-8s base %7.0fx   now %7.0fx   (informational)\n",
+			"fastpath", "speedup", bf.Speedup, cf.Speedup)
+		// Zero allocations is a hard property, not a timing: any steady-state
+		// allocation on the compiled path is a regression outright.
+		mark = "ok"
+		if cf.CompiledAllocsPerLookup > 0.01 {
+			mark = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-12s %-8s base %7.2f    now %7.2f    %s\n",
+			"fastpath", "allocs", bf.CompiledAllocsPerLookup, cf.CompiledAllocsPerLookup, mark)
 	}
 
 	if regressions > 0 {

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"janus/internal/core"
+	"janus/internal/fastpath"
 	"janus/internal/policy"
 	"janus/internal/topo"
 )
@@ -79,6 +81,20 @@ type Network struct {
 	nfState map[string]topo.NodeID
 	// faults, when non-nil, makes every table operation fallible (fault.go).
 	faults *faultState
+	// fast is the compiled flow-classification structure, swapped atomically
+	// by Recompile at configuration settle points; readers never block
+	// writers (fastlookup.go).
+	fast    atomic.Pointer[fastpath.Compiled]
+	fastGen atomic.Uint64
+	// fastCompiles / fastCompileNanos / fastLastNanos are compile counters
+	// surfaced through FastpathStats for /metrics.
+	fastCompiles     atomic.Uint64
+	fastCompileNanos atomic.Int64
+	fastLastNanos    atomic.Int64
+	// fastObserver, when non-nil, is invoked by Recompile with each new
+	// generation and the rules it compiled (a test hook for the swap soak;
+	// called on the writer's goroutine, serialized like all mutations).
+	fastObserver func(gen uint64, rules []Rule)
 }
 
 // NewNetwork builds the dataplane for a topology. Every node gets a flow
@@ -195,10 +211,12 @@ func (n *Network) Apply(rules []Rule, assignments []core.Assignment) (CompileRes
 	plan := n.PlanUpdate(rules)
 	if err := n.ApplyPlan(plan); err != nil {
 		n.RollbackPlan(plan)
+		n.Recompile()
 		return CompileResult{}, err
 	}
 	rep := plan.Report()
 	rep.NFStateTransfers = n.AccountNFState(assignments)
+	n.Recompile()
 	return rep, nil
 }
 
@@ -278,9 +296,18 @@ func (n *Network) Lookup(src, dst string, proto policy.Protocol, port int) ([]to
 	return walk, fmt.Errorf("dataplane: forwarding loop for %s->%s (walk %v)", src, dst, walk) //janus:allow(hotalloc): error construction on the failure path only
 }
 
+// matchRule picks the winning rule for one hop. Higher priority wins;
+// equal-priority overlaps are broken by Classifier.Compare (most specific
+// classifier first), NEVER by table iteration order — the compiled fast
+// path replays this exact selection, so it must be a pure function of the
+// rule set. A nil switch (a rule forwarding to a node with no table, e.g. a
+// dangling next hop) matches nothing.
 func (n *Network) matchRule(sw *Switch, src, dst string, inPort topo.NodeID, proto policy.Protocol, port int) (Rule, bool) {
-	best := Rule{Priority: -1}
+	best := Rule{}
 	found := false
+	if sw == nil {
+		return best, false
+	}
 	for _, r := range sw.Table.rules {
 		if r.Src != src || r.Dst != dst || r.InPort != inPort {
 			continue
@@ -288,7 +315,8 @@ func (n *Network) matchRule(sw *Switch, src, dst string, inPort topo.NodeID, pro
 		if !r.Match.Matches(proto, port) {
 			continue
 		}
-		if r.Priority > best.Priority {
+		if !found || r.Priority > best.Priority ||
+			(r.Priority == best.Priority && r.Match.Compare(best.Match) < 0) {
 			best = r
 			found = true
 		}

@@ -1,0 +1,80 @@
+package dataplane
+
+import (
+	"fmt"
+	"testing"
+
+	"janus/internal/policy"
+	"janus/internal/topo"
+)
+
+// TestMatchRulePriorityTiebreak pins the equal-priority selection rule:
+// the winner is chosen by Classifier.Compare (most specific classifier
+// first), as a pure function of the rule set — never by Go map iteration
+// order, which used to make equal-priority overlaps flip winners between
+// calls. The two overlapping rules forward observably differently, and the
+// rules are installed in both insertion orders to shake the map layout.
+func TestMatchRulePriorityTiebreak(t *testing.T) {
+	build := func(reversed bool) *Network {
+		tp, ids := diamond(t)
+		n := NewNetwork(tp)
+		rules := []Rule{
+			{Switch: ids["a"], Src: "cl", Dst: "srv", Match: policy.Classifier{}, NextHop: ids["top"], InPort: HostPort, Priority: 1},
+			{Switch: ids["a"], Src: "cl", Dst: "srv", Match: policy.Classifier{Proto: policy.TCP}, NextHop: ids["bottom"], InPort: HostPort, Priority: 1},
+			{Switch: ids["top"], Src: "cl", Dst: "srv", Match: policy.Classifier{}, NextHop: ids["b"], InPort: ids["a"], Priority: 1},
+			{Switch: ids["bottom"], Src: "cl", Dst: "srv", Match: policy.Classifier{}, NextHop: ids["b"], InPort: ids["a"], Priority: 1},
+		}
+		if reversed {
+			for i, j := 0, len(rules)-1; i < j; i, j = i+1, j-1 {
+				rules[i], rules[j] = rules[j], rules[i]
+			}
+		}
+		if err := n.ApplyPlan(n.PlanUpdate(rules)); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	for _, reversed := range []bool{false, true} {
+		n := build(reversed)
+		_, ids := diamond(t)
+		want := fmt.Sprint([]topo.NodeID{ids["a"], ids["bottom"], ids["b"]})
+		for i := 0; i < 100; i++ {
+			walk, err := n.Lookup("cl", "srv", policy.TCP, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The tcp-specific rule must beat the equal-priority wildcard on
+			// every single call.
+			if fmt.Sprint(walk) != want {
+				t.Fatalf("insertion reversed=%v, call %d: walk %v, want %s", reversed, i, walk, want)
+			}
+		}
+		// Non-tcp traffic falls to the wildcard, deterministically too.
+		for i := 0; i < 100; i++ {
+			walk, err := n.Lookup("cl", "srv", policy.UDP, 53)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !containsNode(walk, ids["top"]) {
+				t.Fatalf("udp should take the wildcard path via top, got %v", walk)
+			}
+		}
+	}
+	// Higher priority still outranks specificity.
+	tp, ids := diamond(t)
+	n := NewNetwork(tp)
+	if err := n.ApplyPlan(n.PlanUpdate([]Rule{
+		{Switch: ids["a"], Src: "cl", Dst: "srv", Match: policy.Classifier{}, NextHop: ids["top"], InPort: HostPort, Priority: 2},
+		{Switch: ids["a"], Src: "cl", Dst: "srv", Match: policy.Classifier{Proto: policy.TCP, Ports: []int{80}}, NextHop: ids["bottom"], InPort: HostPort, Priority: 1},
+		{Switch: ids["top"], Src: "cl", Dst: "srv", Match: policy.Classifier{}, NextHop: ids["b"], InPort: ids["a"], Priority: 1},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	walk, err := n.Lookup("cl", "srv", policy.TCP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsNode(walk, ids["top"]) {
+		t.Fatalf("priority 2 wildcard should outrank priority 1 specific: %v", walk)
+	}
+}

@@ -220,3 +220,34 @@ func TestParBenchSmoke(t *testing.T) {
 			b.LPMicro.WarmAllocsPerSolve)
 	}
 }
+
+// TestFastpathBenchSmoke checks the flow-arrival section end-to-end on a
+// reduced workload: the compiled side must be strictly faster than the
+// interpreted walk and allocation-free, and the compile cost must be
+// measured.
+func TestFastpathBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fp, err := RunFastpathBench(tiny(), "Ans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Flows == 0 || fp.Probes == 0 {
+		t.Fatalf("no flows compiled: %+v", fp)
+	}
+	if fp.InterpretedNanosPerLookup <= 0 || fp.CompiledNanosPerLookup <= 0 {
+		t.Fatalf("timings unset: %+v", fp)
+	}
+	if fp.Speedup <= 1 {
+		t.Errorf("compiled lookup (%.0fns) not faster than interpreted (%.0fns)",
+			fp.CompiledNanosPerLookup, fp.InterpretedNanosPerLookup)
+	}
+	if fp.CompiledAllocsPerLookup > 0.01 {
+		t.Errorf("compiled lookups allocate %.3f/lookup; zero-alloc guarantee broken",
+			fp.CompiledAllocsPerLookup)
+	}
+	if fp.CompileMicros <= 0 {
+		t.Errorf("compile cost unmeasured: %+v", fp)
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"janus/internal/core"
+	"janus/internal/dataplane"
+	"janus/internal/policy"
+	"janus/internal/workload"
+)
+
+// FastpathBench is the flow-arrival section of the janusbench JSON
+// document: the same installed fig11 configuration probed through the
+// interpreted per-hop walk and through the compiled fast path
+// (internal/fastpath), so the steady-state classification speedup — and
+// any regression in it — is measured where flows actually arrive.
+type FastpathBench struct {
+	Topology string `json:"topology"`
+	Policies int    `json:"policies"`
+	// Flows is the number of (src,dst) pairs in the compiled structure;
+	// Probes the number of distinct probe tuples cycled by the measurement.
+	Flows  int `json:"flows"`
+	Probes int `json:"probes"`
+	// InterpretedNanosPerLookup / CompiledNanosPerLookup are mean lookup
+	// latencies; Speedup is their ratio (≥10x is the ISSUE 9 floor).
+	InterpretedNanosPerLookup float64 `json:"interpreted_nanos_per_lookup"`
+	CompiledNanosPerLookup    float64 `json:"compiled_nanos_per_lookup"`
+	Speedup                   float64 `json:"speedup"`
+	// CompiledAllocsPerLookup must be 0: the zero-alloc guarantee measured
+	// end-to-end rather than per-call (MemStats Mallocs delta).
+	CompiledAllocsPerLookup float64 `json:"compiled_allocs_per_lookup"`
+	// CompileMicros is the cost of one Recompile of the installed rule set —
+	// the price every reconfiguration pays to publish a new generation.
+	CompileMicros float64 `json:"compile_micros"`
+}
+
+// RunFastpathBench installs the solved fig11 workload on a simulated
+// dataplane and measures interpreted vs compiled lookup latency over the
+// configuration's own hard flows, probing the classifiers they carry.
+func RunFastpathBench(p Params, topoName string) (*FastpathBench, error) {
+	p = p.withDefaults()
+	policies := p.scaled(50)
+	w, err := workload.Generate(topoName, workload.Spec{
+		Policies: policies, EndpointsPerPolicy: 2, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fastpath bench workload: %w", err)
+	}
+	conf, err := core.New(w.Topo, w.Graph, core.Config{
+		CandidatePaths: 5, Seed: p.Seed, Workers: 1, TimeLimit: p.TimeLimit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fastpath bench configurator: %w", err)
+	}
+	res, err := conf.Configure(0)
+	if err != nil {
+		return nil, fmt.Errorf("fastpath bench solve: %w", err)
+	}
+	net := dataplane.NewNetwork(w.Topo)
+	adapter := dataplane.NewGraphAdapter(w.Graph)
+	rules := dataplane.CompileRules(w.Topo, adapter, res)
+	if _, err := net.Apply(rules, res.Assignments); err != nil {
+		return nil, fmt.Errorf("fastpath bench install: %w", err)
+	}
+
+	// Probe the installed flows with the classifiers their rules carry —
+	// the steady state is flows that exist, not scans for ones that don't.
+	type probe struct {
+		src, dst string
+		proto    policy.Protocol
+		port     int
+	}
+	seen := map[[2]string]bool{}
+	var probes []probe
+	for _, a := range res.Assignments {
+		if a.Role != core.HardEdge || seen[[2]string{a.Src, a.Dst}] {
+			continue
+		}
+		seen[[2]string{a.Src, a.Dst}] = true
+		m := adapter.MatchFor(a.Policy, a.EdgeIdx)
+		pr := probe{src: a.Src, dst: a.Dst, proto: policy.TCP, port: 80}
+		if m.Proto != "" && m.Proto != policy.Any {
+			pr.proto = m.Proto
+		}
+		if len(m.Ports) > 0 {
+			pr.port = m.Ports[0]
+		}
+		probes = append(probes, pr)
+	}
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("fastpath bench: no hard flows to probe on %s", topoName)
+	}
+
+	b := &FastpathBench{Topology: topoName, Policies: policies, Probes: len(probes)}
+
+	// Recompile once more for a clean timing of the publish cost (Apply
+	// already compiled as part of its settle).
+	start := time.Now()
+	c := net.Recompile()
+	b.CompileMicros = float64(time.Since(start).Microseconds())
+	b.Flows = c.Flows()
+
+	// Each side cycles the probe set until its time budget elapses; the
+	// budgets are sized so even the slow interpreted side stays sub-second.
+	interpNs := measureLookups(300*time.Millisecond, len(probes), func(i int) {
+		p := probes[i]
+		_, _ = net.Lookup(p.src, p.dst, p.proto, p.port)
+	})
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	compiledNs, compiledCount := measureLookupsN(150*time.Millisecond, len(probes), func(i int) {
+		p := probes[i]
+		_, _ = c.Lookup(p.src, p.dst, p.proto, p.port)
+	})
+	runtime.ReadMemStats(&ms1)
+	b.InterpretedNanosPerLookup = interpNs
+	b.CompiledNanosPerLookup = compiledNs
+	b.CompiledAllocsPerLookup = float64(ms1.Mallocs-ms0.Mallocs) / float64(compiledCount)
+	if compiledNs > 0 {
+		b.Speedup = interpNs / compiledNs
+	}
+	return b, nil
+}
+
+// measureLookups cycles fn over [0,n) probe indices until the budget
+// elapses and returns mean nanoseconds per call.
+func measureLookups(budget time.Duration, n int, fn func(i int)) float64 {
+	ns, _ := measureLookupsN(budget, n, fn)
+	return ns
+}
+
+func measureLookupsN(budget time.Duration, n int, fn func(i int)) (float64, int64) {
+	var count int64
+	start := time.Now()
+	for time.Since(start) < budget {
+		// Full passes between clock reads keep timer overhead negligible.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		count += int64(n)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(count), count
+}

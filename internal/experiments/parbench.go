@@ -48,6 +48,10 @@ type Bench struct {
 	Runs          int           `json:"runs"`
 	Entries       []BenchEntry  `json:"entries"`
 	LPMicro       *LPMicroBench `json:"lp_micro,omitempty"`
+	// Fastpath is the compiled flow-classification section (fastpath.go),
+	// absent in baselines recorded before it existed — cmd/benchdiff
+	// phase-gates it like lp_micro.
+	Fastpath *FastpathBench `json:"fastpath,omitempty"`
 }
 
 // benchMeasure solves the fig11-shaped workload once and reports duration,
@@ -99,6 +103,11 @@ func RunParallelBench(p Params, workers int) (*Bench, error) {
 		return nil, fmt.Errorf("parbench lp micro: %w", err)
 	}
 	b.LPMicro = micro
+	fp, err := RunFastpathBench(p, "Cwix")
+	if err != nil {
+		return nil, fmt.Errorf("parbench fastpath: %w", err)
+	}
+	b.Fastpath = fp
 	policies := p.scaled(50)
 	for _, topoName := range []string{"Ans", "Cwix"} {
 		var serialDur, parDur time.Duration
@@ -151,6 +160,12 @@ func (b *Bench) Render() Table {
 	if b.LPMicro != nil {
 		title += fmt.Sprintf("\nLP micro (%dv×%dr): cold %.0fµs, warm %.1fµs, %.1f allocs/warm solve",
 			b.LPMicro.Vars, b.LPMicro.Rows, b.LPMicro.ColdMicros, b.LPMicro.WarmMicros, b.LPMicro.WarmAllocsPerSolve)
+	}
+	if b.Fastpath != nil {
+		title += fmt.Sprintf("\nFastpath (%s, %d flows): interpreted %.0fns, compiled %.0fns (%.0fx), compile %.0fµs, %.2f allocs/lookup",
+			b.Fastpath.Topology, b.Fastpath.Flows, b.Fastpath.InterpretedNanosPerLookup,
+			b.Fastpath.CompiledNanosPerLookup, b.Fastpath.Speedup, b.Fastpath.CompileMicros,
+			b.Fastpath.CompiledAllocsPerLookup)
 	}
 	t := Table{
 		Title:  title,

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fastpath_test
+
+const raceEnabled = false

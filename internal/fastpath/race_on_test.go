@@ -1,0 +1,8 @@
+//go:build race
+
+package fastpath_test
+
+// raceEnabled reports that this binary was built with -race, which charges
+// extra allocations to instrumented code and invalidates AllocsPerRun
+// assertions.
+const raceEnabled = true

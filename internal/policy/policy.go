@@ -145,6 +145,50 @@ func (c Classifier) Intersect(o Classifier) (Classifier, bool) {
 	return out, true
 }
 
+// Compare orders classifiers canonically, most-specific first: a concrete
+// protocol sorts before the wildcard ("" or Any), an explicit port list
+// before the all-ports list, and a shorter (tighter) port list before a
+// longer one; residual ties fall back to lexicographic protocol then
+// element-wise port order. It returns -1, 0, or +1 and never allocates, so
+// the dataplane's matcher can use it on the lookup hot path to break
+// priority ties deterministically.
+func (c Classifier) Compare(o Classifier) int {
+	cw := c.Proto == "" || c.Proto == Any
+	ow := o.Proto == "" || o.Proto == Any
+	switch {
+	case cw && !ow:
+		return 1
+	case !cw && ow:
+		return -1
+	}
+	switch {
+	case len(c.Ports) == 0 && len(o.Ports) > 0:
+		return 1
+	case len(c.Ports) > 0 && len(o.Ports) == 0:
+		return -1
+	case len(c.Ports) != len(o.Ports):
+		if len(c.Ports) < len(o.Ports) {
+			return -1
+		}
+		return 1
+	}
+	if c.Proto != o.Proto {
+		if c.Proto < o.Proto {
+			return -1
+		}
+		return 1
+	}
+	for i := range c.Ports {
+		if c.Ports[i] != o.Ports[i] {
+			if c.Ports[i] < o.Ports[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // String renders the classifier in the paper's tcp/80 style.
 func (c Classifier) String() string {
 	if c.MatchAll() {

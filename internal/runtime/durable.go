@@ -101,6 +101,7 @@ func Restore(state *store.State, cfg core.Config, j Journal) (*Runtime, error) {
 	if err := r.net.ApplyPlan(plan); err != nil {
 		return nil, fmt.Errorf("runtime: restore: reinstalling rules: %w", err)
 	}
+	r.net.Recompile()
 	r.current = state.Result
 	r.journal = j
 	return r, nil

@@ -172,6 +172,10 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 	plan := r.net.PlanUpdate(rules)
 	if err := r.applyPlanWithRetry(ctx, plan); err != nil {
 		r.net.RollbackPlan(plan)
+		// The rollback restored the previous settled rule set: republish
+		// the compiled fast path for it before anything else (quarantine
+		// may reconfigure, which recompiles again on its own install).
+		r.net.Recompile()
 		r.metrics.ApplyRollbacks++
 		var opErr *dataplane.OpError
 		if errors.As(err, &opErr) && ctx.Err() == nil {
@@ -187,6 +191,7 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 		r.metrics.AuditViolations += len(vs)
 		r.metrics.AuditRollbacks++
 		r.net.RollbackPlan(plan)
+		r.net.Recompile()
 		return fmt.Errorf("runtime: self-audit failed with %d violations (first: %s/%s), rolled back",
 			len(vs), vs[0].Kind, vs[0].Detail)
 	}
@@ -216,6 +221,10 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 	r.metrics.SwitchesTouched += rep.SwitchesTouched
 	r.metrics.NFStateTransfers += rep.NFStateTransfers
 	r.current = res
+	// Settle point: publish the compiled fast path for the newly installed
+	// configuration (atomic swap; in-flight lookups finish on the previous
+	// generation).
+	r.net.Recompile()
 	return nil
 }
 

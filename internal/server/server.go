@@ -442,17 +442,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	out := struct {
 		runtime.Metrics
-		Tier        string               `json:"tier"`
-		Quarantined []topo.NodeID        `json:"quarantined,omitempty"`
-		Crashed     []topo.NodeID        `json:"crashed,omitempty"`
-		FaultStats  dataplane.FaultStats `json:"faultStats"`
-		Durability  *durabilityMetrics   `json:"durability,omitempty"`
+		Tier        string                  `json:"tier"`
+		Quarantined []topo.NodeID           `json:"quarantined,omitempty"`
+		Crashed     []topo.NodeID           `json:"crashed,omitempty"`
+		FaultStats  dataplane.FaultStats    `json:"faultStats"`
+		Fastpath    dataplane.FastpathStats `json:"fastpath"`
+		Durability  *durabilityMetrics      `json:"durability,omitempty"`
 	}{
 		Metrics:     rt.Metrics(),
 		Tier:        rt.Current().Tier.String(),
 		Quarantined: rt.Quarantined(),
 		Crashed:     rt.Network().CrashedSwitches(),
 		FaultStats:  rt.Network().FaultStats(),
+		Fastpath:    rt.Network().FastpathStats(),
 		Durability:  s.durabilityMetricsLocked(),
 	}
 	writeJSON(w, http.StatusOK, out)
