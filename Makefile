@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test test-race chaos crashsoak fastsoak check bench bench-lp benchdiff fuzz fuzz-fastpath difftest
+.PHONY: all build vet lint lint-sarif test test-race chaos crashsoak fastsoak check bench bench-lp benchdiff fuzz fuzz-fastpath difftest deltadiff
 
 all: check
 
@@ -80,6 +80,17 @@ benchdiff:
 difftest:
 	$(GO) test -race -count=1 ./internal/milp/difftest/ -run TestDifferential -v
 	$(GO) test -race -count=1 ./internal/core/ -run TestDifferentialCorpus -v
+
+# deltadiff runs the incremental-reconfiguration differential harness under
+# the race detector: twin runtimes (delta on vs off) replay seeded event
+# schedules — moves, link failures/restores, period advances, escalations,
+# injected faults — and every installed result, metric-visible satisfaction
+# count, and journal replay must match byte-for-byte. This is the permanent
+# gate for delta-solve changes, alongside the unit/edge-case suites.
+deltadiff:
+	$(GO) test -race -count=1 -run 'TestDeltaDiff' ./internal/runtime/ -v
+	$(GO) test -race -count=1 -run 'TestDelta|TestBuildDepIndex|TestUpdateGraphInvalidatesDepIndex|TestRestoreRebuildsDepIndex' ./internal/core/ ./internal/runtime/
+	$(GO) test -race -count=1 -run 'TestInvalidateLink' ./internal/paths/
 
 # fuzz gives the LP fuzzer a short budget beyond its checked-in seed corpus;
 # CI runs this as a smoke, leave it running locally to hunt.

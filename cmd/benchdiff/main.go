@@ -17,8 +17,12 @@
 // cold/warm latency and warm allocations per solve); those are gated with
 // the same relative threshold and a -microfloor absolute floor. Baselines
 // may also carry a fastpath section (compiled flow-classification latency,
-// gated with -fastfloor, plus a hard zero-allocation check). Baselines
-// missing a section simply skip its gate.
+// gated with -fastfloor, plus a hard zero-allocation check) and a delta
+// section (incremental-reconfiguration event cost, gated against its
+// baseline latency and against the -deltamin absolute speedup floor on the
+// fig11 Cwix entries). Baselines missing a section simply skip its gate,
+// but the -deltamin floor applies to any candidate that carries the
+// section — a hard property of the delta layer, not a host comparison.
 package main
 
 import (
@@ -50,6 +54,8 @@ func main() {
 	floor := flag.Duration("floor", 250*time.Millisecond, "absolute slowdown below which jitter is ignored")
 	microFloor := flag.Duration("microfloor", 250*time.Microsecond, "absolute lp_micro slowdown below which jitter is ignored")
 	fastFloor := flag.Duration("fastfloor", 50*time.Nanosecond, "absolute compiled-lookup slowdown below which jitter is ignored")
+	deltaFloor := flag.Duration("deltafloor", 25*time.Millisecond, "absolute delta-solve slowdown below which jitter is ignored")
+	deltaMin := flag.Float64("deltamin", 5.0, "minimum full/delta speedup required of Cwix delta entries")
 	flag.Parse()
 
 	if *candidatePath == "" {
@@ -169,6 +175,56 @@ func main() {
 		}
 		fmt.Printf("%-12s %-8s base %7.2f    now %7.2f    %s\n",
 			"fastpath", "allocs", bf.CompiledAllocsPerLookup, cf.CompiledAllocsPerLookup, mark)
+	}
+
+	// Delta gate: incremental-reconfiguration event cost. The latency
+	// comparison phases in like lp_micro — it needs a baseline with the
+	// section — but the -deltamin speedup floor is a hard property of the
+	// delta layer itself (sub-model cost must scale with the change, not
+	// the network), so it applies to any candidate carrying the section,
+	// baseline or not. Cwix is the larger fig11 fabric; the Ans speedups
+	// are informational.
+	if cand.Delta == nil {
+		fmt.Println("delta         candidate has no delta section; gate skipped")
+	} else {
+		baseDelta := map[string]experiments.DeltaBenchEntry{}
+		if base.Delta != nil {
+			for _, e := range base.Delta.Entries {
+				baseDelta[e.Topology+"/"+e.Event] = e
+			}
+		} else {
+			fmt.Println("delta         baseline has no delta section; latency gate skipped")
+		}
+		for _, c := range cand.Delta.Entries {
+			key := c.Topology + "/" + c.Event
+			if b, ok := baseDelta[key]; ok {
+				delta := c.DeltaMillis - b.DeltaMillis
+				rel := 0.0
+				if b.DeltaMillis > 0 {
+					rel = delta / b.DeltaMillis
+				}
+				mark := "ok"
+				if rel > *threshold && delta > float64(deltaFloor.Milliseconds()) {
+					mark = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("%-12s %-13s base %7.1fms  now %7.1fms  (%+.1f%%)  %s\n",
+					"delta", key, b.DeltaMillis, c.DeltaMillis, 100*rel, mark)
+			}
+			mark := "ok"
+			var gated string
+			if c.Topology == "Cwix" {
+				if c.Speedup < *deltaMin {
+					mark = "REGRESSION"
+					regressions++
+				}
+				gated = fmt.Sprintf("(floor %.1fx)  %s", *deltaMin, mark)
+			} else {
+				gated = "(informational)"
+			}
+			fmt.Printf("%-12s %-13s speedup %7.1fx  affected %.1f of %d  %s\n",
+				"delta", key, c.Speedup, c.AffectedPolicies, c.Policies, gated)
+		}
 	}
 
 	if regressions > 0 {

@@ -69,16 +69,35 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 	if err != nil {
 		return nil, err
 	}
+	var warm *lp.Basis
+	if prev != nil {
+		warm = prev.basis
+	}
+	sol, tier, err := c.solveModel(ctx, m, prevAssign, warm)
+	if err != nil {
+		// Cancellation is not a solver failure; never degrade past it.
+		return nil, fmt.Errorf("core: solving period %d: %w", period, err)
+	}
+	if tier == TierNone && prev != nil {
+		// Rung 3: keep the previous configuration untouched.
+		return c.keepPrevious(prev, period, m, sol, start), nil
+	}
+	return c.extractResult(m, sol, tier, period, start), nil
+}
+
+// solveModel runs branch and bound on a built model with the standard
+// options: branch priorities on the I_i group decisions, the greedy MIP
+// start, and an optional warm basis. When the search produces no incumbent
+// it falls to the rounded LP relaxation (rung 2 of the degradation
+// ladder); tier is TierNone when even that failed, and the caller decides
+// whether a previous configuration can be kept instead.
+func (c *Configurator) solveModel(ctx context.Context, m *model, prevAssign []Assignment, warm *lp.Basis) (*milp.Solution, DegradationTier, error) {
 	solver := milp.NewSolver(m.prob, m.integers)
 	// Branch on group decisions (I_i) before individual path indicators:
 	// fixing a policy in or out prunes the tree far faster.
 	prio := make(map[int]int, len(m.iVar))
 	for _, iv := range m.iVar {
 		prio[iv] = 1
-	}
-	var warm *lp.Basis
-	if prev != nil {
-		warm = prev.basis
 	}
 	sol, err := solver.Solve(ctx, milp.Options{
 		MaxNodes:       c.cfg.MaxNodes,
@@ -92,31 +111,29 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		WarmStart:      warm,
 	})
 	if err != nil {
-		// Cancellation is not a solver failure; never degrade past it.
-		return nil, fmt.Errorf("core: solving period %d: %w", period, err)
+		return nil, TierNone, err
 	}
-
-	var tier DegradationTier
 	switch sol.Status {
 	case milp.Optimal:
-		tier = TierFull
+		return sol, TierFull, nil
 	case milp.Feasible:
 		// A node/time/stall limit stopped the proof; the incumbent serves.
-		tier = TierIncumbent
+		return sol, TierIncumbent, nil
 	default:
 		// Limit with no incumbent, Infeasible, or Unbounded. Rung 2: round
 		// the LP relaxation.
 		if rsol, ok := solver.RelaxAndRound(ctx); ok {
-			sol = rsol
-			tier = TierLPRound
-		} else if prev != nil {
-			// Rung 3: keep the previous configuration untouched.
-			return c.keepPrevious(prev, period, m, sol, start), nil
-		} else {
-			tier = TierNone
+			return rsol, TierLPRound, nil
 		}
+		return sol, TierNone, nil
 	}
+}
 
+// extractResult converts a solved model into a Result: configured flags
+// from the I_i indicators, assignments from the selected path variables,
+// and the link report (reservations from the integer solution, shadow
+// prices from the root relaxation, §5.6 sensitivity analysis).
+func (c *Configurator) extractResult(m *model, sol *milp.Solution, tier DegradationTier, period int, start time.Time) *Result {
 	res := &Result{
 		Period:     period,
 		Configured: make(map[int]bool, len(m.pids)),
@@ -141,7 +158,7 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		for _, pid := range m.pids {
 			res.Configured[pid] = false
 		}
-		return res, nil
+		return res
 	}
 	res.Objective = sol.Objective
 	for _, pid := range m.pids {
@@ -183,7 +200,7 @@ func (c *Configurator) solvePeriod(ctx context.Context, period int, prev *Result
 		}
 		res.Links = append(res.Links, use)
 	}
-	return res, nil
+	return res
 }
 
 // keepPrevious is the last resort of the degradation ladder: the period's

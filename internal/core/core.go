@@ -56,6 +56,23 @@ type Config struct {
 	// DisableReservations turns off soft reservation of non-default edges
 	// (ablation; §5.3 on by default).
 	DisableReservations bool
+	// DeltaDisable turns off incremental (delta) reconfiguration: runtime
+	// events then always rebuild and re-solve the full period model. The
+	// zero value leaves delta solving on — the optimality guard, the
+	// freeze-validity widening, and the runtime's post-install self-audit
+	// bound how far an incremental result can drift from a full solve.
+	DeltaDisable bool
+	// DeltaMaxSatisfiedDrop is the optimality guard for delta solves: when
+	// the merged result satisfies more than this many fewer policies than
+	// the previous result did (over the currently active set), the delta
+	// result is discarded and the caller falls back to a full re-solve.
+	// 0 means a default of 1; negative means 0 (any drop falls back).
+	DeltaMaxSatisfiedDrop int
+	// DeltaMaxAffectedFrac skips the delta path when the affected share of
+	// active policies exceeds this fraction: re-solving most of the model
+	// through the sub-model costs about as much as a warm-started full
+	// solve while forgoing its global view. 0 means a default of 0.6.
+	DeltaMaxAffectedFrac float64
 
 	// Solver limits, forwarded to branch & bound.
 	MaxNodes  int
@@ -110,6 +127,14 @@ func (c Config) withDefaults() Config {
 	} else if c.StallNodes < 0 {
 		c.StallNodes = 0
 	}
+	if c.DeltaMaxSatisfiedDrop == 0 {
+		c.DeltaMaxSatisfiedDrop = 1
+	} else if c.DeltaMaxSatisfiedDrop < 0 {
+		c.DeltaMaxSatisfiedDrop = 0
+	}
+	if c.DeltaMaxAffectedFrac == 0 { //janus:allow(floatcmp): zero-value config sentinel meaning "unset", never a computed float
+		c.DeltaMaxAffectedFrac = 0.6
+	}
 	return c
 }
 
@@ -157,6 +182,16 @@ func (c *Configurator) Graph() *compose.Graph { return c.graph }
 // InvalidatePaths drops the path cache; call after topology changes
 // (endpoint mobility does not change paths, but link changes do).
 func (c *Configurator) InvalidatePaths() { c.enum.InvalidateCache() }
+
+// InvalidateLinkPaths drops only the cached path enumerations that crossed
+// the removed link (a, b) — exact selective invalidation for link
+// failures, keeping the candidate-path cache warm for unaffected pairs.
+// Link additions must use InvalidatePaths: a new link can create paths
+// for any pair.
+func (c *Configurator) InvalidateLinkPaths(a, b topo.NodeID) { c.enum.InvalidateLink(a, b) }
+
+// DeltaEnabled reports whether incremental (delta) reconfiguration is on.
+func (c *Configurator) DeltaEnabled() bool { return !c.cfg.DeltaDisable }
 
 // EdgeRole classifies how an edge enters the optimization at a time period.
 type EdgeRole int
@@ -294,6 +329,10 @@ type Result struct {
 	// previous configuration kept verbatim).
 	Tier  DegradationTier
 	Stats Stats
+	// Delta is non-nil when this result came from an incremental solve
+	// that re-solved only the affected policies and carried every other
+	// assignment over verbatim (nil for full solves).
+	Delta *DeltaStats
 
 	basis *lp.Basis
 }

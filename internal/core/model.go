@@ -72,8 +72,14 @@ func activeEdges(p *compose.Policy, h int) (hard, soft []int) {
 // to EPG mapping can be used to infer the policy associated with each
 // <src,dst> endpoint pair").
 func (c *Configurator) pairsOf(p *compose.Policy) [][2]string {
-	srcs := c.topo.EndpointsMatching(p.Src)
-	dsts := c.topo.EndpointsMatching(p.Dst)
+	return pairsOn(c.topo, p)
+}
+
+// pairsOn is pairsOf on an explicit topology, shared with the dependency
+// index builder.
+func pairsOn(t *topo.Topology, p *compose.Policy) [][2]string {
+	srcs := t.EndpointsMatching(p.Src)
+	dsts := t.EndpointsMatching(p.Dst)
 	var out [][2]string
 	for _, s := range srcs {
 		for _, d := range dsts {
@@ -104,10 +110,26 @@ func (o bwOverride) factor(pid, period int) float64 {
 	return f
 }
 
+// modelScope restricts a period model to a subset of policies solved
+// against residual link capacities — the delta sub-model. include lists
+// the policy IDs to model; residual overrides the capacity of directed
+// links that carry frozen assignments (links absent from the map keep
+// their full topology capacity).
+type modelScope struct {
+	include  map[int]bool
+	residual map[[2]topo.NodeID]float64
+}
+
 // buildModel constructs the period-h optimization (Eqns 1–6 and 10).
 // prevAssign, when non-nil, adds path-change penalties (Eqns 7–8) against
 // that assignment set.
 func (c *Configurator) buildModel(h int, prevAssign []Assignment, over bwOverride) (*model, error) {
+	return c.buildModelScoped(h, prevAssign, over, nil)
+}
+
+// buildModelScoped is buildModel restricted to a scope; a nil scope builds
+// the full period model.
+func (c *Configurator) buildModelScoped(h int, prevAssign []Assignment, over bwOverride, scope *modelScope) (*model, error) {
 	m := &model{
 		prob:           lp.NewProblem(),
 		period:         h,
@@ -146,6 +168,9 @@ func (c *Configurator) buildModel(h int, prevAssign []Assignment, over bwOverrid
 	sort.Slice(pols, func(i, j int) bool { return pols[i].ID < pols[j].ID })
 
 	for _, p := range pols {
+		if scope != nil && !scope.include[p.ID] {
+			continue // frozen outside the delta scope
+		}
 		hard, soft := activeEdges(p, h)
 		if len(hard) == 0 {
 			continue // policy not active in this period
@@ -279,6 +304,13 @@ func (c *Configurator) buildModel(h int, prevAssign []Assignment, over bwOverrid
 		capacity, ok := c.topo.LinkCapacity(l[0], l[1])
 		if !ok {
 			return nil, fmt.Errorf("core: path uses nonexistent link %v", l)
+		}
+		if scope != nil {
+			if rc, ok := scope.residual[l]; ok {
+				// Frozen assignments already hold part of this link; the
+				// sub-model sees only what they left behind.
+				capacity = rc
+			}
 		}
 		r, err := m.prob.AddConstraint(lp.LE, capacity, linkTerms[l])
 		if err != nil {

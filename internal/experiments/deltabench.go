@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"janus/internal/core"
+	"janus/internal/topo"
+	"janus/internal/workload"
+)
+
+// DeltaBenchEntry compares one runtime event served by a full re-solve vs
+// the incremental (delta) path on identically seeded twin instances: same
+// topology, same policies, same mutation.
+type DeltaBenchEntry struct {
+	Topology string `json:"topology"`
+	// Event is "move" (one source endpoint relocates) or "linkfail" (one
+	// loaded switch-switch link is removed).
+	Event    string `json:"event"`
+	Policies int    `json:"policies"`
+	// FullMillis / DeltaMillis are mean solve latencies over the runs;
+	// Speedup is their ratio — the event cost scaling the delta layer buys.
+	FullMillis  float64 `json:"full_millis"`
+	DeltaMillis float64 `json:"delta_millis"`
+	Speedup     float64 `json:"speedup"`
+	// AffectedPolicies is the mean sub-model size; the full solve always
+	// carries all Policies.
+	AffectedPolicies float64 `json:"affected_policies"`
+	// Satisfied counts expose a "speedup" won by solving a worse problem.
+	FullSatisfied  int `json:"full_satisfied"`
+	DeltaSatisfied int `json:"delta_satisfied"`
+}
+
+// DeltaBench is the incremental-reconfiguration section of the janusbench
+// JSON document, absent in baselines recorded before it existed —
+// cmd/benchdiff phase-gates it like lp_micro and fastpath.
+type DeltaBench struct {
+	Entries []DeltaBenchEntry `json:"entries"`
+}
+
+// deltaBenchEvent mutates twin worlds identically and returns the affected
+// set computed from the delta twin's dependency index.
+type deltaBenchEvent struct {
+	name  string
+	apply func(full, delta *deltaBenchWorld, ix *core.DepIndex) (map[int]bool, error)
+}
+
+// deltaBenchWorld is one of the twin instances: a solved fig11 workload
+// with its configurator and previous result.
+type deltaBenchWorld struct {
+	w    *workload.Workload
+	conf *core.Configurator
+	prev *core.Result
+}
+
+func newDeltaBenchWorld(topoName string, spec workload.Spec, timeLimit time.Duration, maxDrop int) (*deltaBenchWorld, error) {
+	w, err := workload.Generate(topoName, spec)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := core.New(w.Topo, w.Graph, core.Config{
+		CandidatePaths: 5, Seed: spec.Seed, Workers: 1, TimeLimit: timeLimit,
+		DeltaMaxSatisfiedDrop: maxDrop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prev, err := conf.Configure(0)
+	if err != nil {
+		return nil, err
+	}
+	return &deltaBenchWorld{w: w, conf: conf, prev: prev}, nil
+}
+
+// moveEvent relocates policy 0's first source endpoint to a different
+// switch in both worlds. fig11 workloads give each policy dedicated
+// endpoints, so the footprint is exactly one policy.
+func moveEvent(full, delta *deltaBenchWorld, ix *core.DepIndex) (map[int]bool, error) {
+	const ep = "p0-e0"
+	cur, ok := full.w.Topo.EndpointByName(ep)
+	if !ok {
+		return nil, fmt.Errorf("endpoint %s missing", ep)
+	}
+	var to topo.NodeID = -1
+	for _, id := range full.w.Topo.NodesOfKind(topo.Switch, "") {
+		if id != cur.Attach {
+			to = id
+			break
+		}
+	}
+	if to < 0 {
+		return nil, fmt.Errorf("no switch to move %s to", ep)
+	}
+	for _, world := range []*deltaBenchWorld{full, delta} {
+		if err := world.w.Topo.MoveEndpoint(ep, to); err != nil {
+			return nil, err
+		}
+	}
+	affected := map[int]bool{}
+	ix.AffectedByEndpoint(ep, affected)
+	return affected, nil
+}
+
+// linkFailEvent removes the least-loaded switch-switch link crossed by
+// any assignment of the delta twin's previous result — the typical single
+// link failure, whose footprint is a handful of policies, not a trunk —
+// in both worlds, and invalidates exactly that link's cached path
+// enumerations the way Runtime.FailLink does.
+func linkFailEvent(full, delta *deltaBenchWorld, ix *core.DepIndex) (map[int]bool, error) {
+	nodes := delta.w.Topo.Nodes
+	load := map[[2]topo.NodeID]map[int]bool{}
+	for _, a := range delta.prev.Assignments {
+		for _, l := range a.Path.Links() {
+			if nodes[l[0]].Kind != topo.Switch || nodes[l[1]].Kind != topo.Switch {
+				continue
+			}
+			k := l
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if load[k] == nil {
+				load[k] = map[int]bool{}
+			}
+			load[k][a.Policy] = true
+		}
+	}
+	var fail [2]topo.NodeID
+	found := false
+	for k, pids := range load {
+		better := len(pids) < len(load[fail])
+		tie := len(pids) == len(load[fail]) &&
+			(k[0] < fail[0] || (k[0] == fail[0] && k[1] < fail[1]))
+		if !found || better || tie {
+			fail, found = k, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("no loaded switch-switch link to fail")
+	}
+	affected := map[int]bool{}
+	ix.AffectedByLink(fail[0], fail[1], affected)
+	for _, world := range []*deltaBenchWorld{full, delta} {
+		if err := world.w.Topo.RemoveLink(fail[0], fail[1]); err != nil {
+			return nil, err
+		}
+		world.conf.InvalidateLinkPaths(fail[0], fail[1])
+	}
+	return affected, nil
+}
+
+// RunDeltaBench measures full vs incremental event cost on the fig11
+// workload: for each topology and event type, twin instances solve the
+// same mutation — one through ReconfigureAt over all policies, one through
+// DeltaReconfigureContext over the affected set — averaged over p.Runs
+// seeds.
+func RunDeltaBench(p Params) (*DeltaBench, error) {
+	p = p.withDefaults()
+	policies := p.scaled(50)
+	events := []deltaBenchEvent{
+		{name: "move", apply: moveEvent},
+		{name: "linkfail", apply: linkFailEvent},
+	}
+	b := &DeltaBench{}
+	for _, topoName := range []string{"Ans", "Cwix"} {
+		for _, ev := range events {
+			var fullDur, deltaDur time.Duration
+			var affectedSum, fullSat, deltaSat int
+			for r := 0; r < p.Runs; r++ {
+				spec := workload.Spec{Policies: policies, EndpointsPerPolicy: 2, Seed: p.Seed + int64(r)*7919}
+				full, err := newDeltaBenchWorld(topoName, spec, p.TimeLimit, 0)
+				if err != nil {
+					return nil, fmt.Errorf("deltabench %s full twin: %w", topoName, err)
+				}
+				// The delta twin gets an unbounded optimality guard: the
+				// runtime's strict default would (correctly) fall back to a
+				// full solve when the capacity-tight workload cannot re-fit
+				// every affected policy into residual headroom, but the
+				// bench measures the delta path itself — the satisfaction
+				// gap is reported explicitly instead of gated.
+				delta, err := newDeltaBenchWorld(topoName, spec, p.TimeLimit, policies)
+				if err != nil {
+					return nil, fmt.Errorf("deltabench %s delta twin: %w", topoName, err)
+				}
+				ix := core.BuildDepIndex(delta.w.Topo, delta.w.Graph, delta.prev)
+				affected, err := ev.apply(full, delta, ix)
+				if err != nil {
+					return nil, fmt.Errorf("deltabench %s %s: %w", topoName, ev.name, err)
+				}
+
+				start := time.Now()
+				fullRes, err := full.conf.ReconfigureAt(full.prev, 0)
+				if err != nil {
+					return nil, fmt.Errorf("deltabench %s %s full solve: %w", topoName, ev.name, err)
+				}
+				fullDur += time.Since(start)
+
+				start = time.Now()
+				deltaRes, err := delta.conf.DeltaReconfigureContext(context.Background(), delta.prev,
+					core.DeltaRequest{Period: 0, Affected: affected})
+				if err != nil {
+					return nil, fmt.Errorf("deltabench %s %s delta solve: %w", topoName, ev.name, err)
+				}
+				deltaDur += time.Since(start)
+
+				affectedSum += deltaRes.Delta.Affected
+				fullSat += fullRes.SatisfiedCount()
+				deltaSat += deltaRes.SatisfiedCount()
+			}
+			e := DeltaBenchEntry{
+				Topology:         topoName,
+				Event:            ev.name,
+				Policies:         policies,
+				FullMillis:       float64(fullDur.Microseconds()) / 1000 / float64(p.Runs),
+				DeltaMillis:      float64(deltaDur.Microseconds()) / 1000 / float64(p.Runs),
+				AffectedPolicies: float64(affectedSum) / float64(p.Runs),
+				FullSatisfied:    fullSat / p.Runs,
+				DeltaSatisfied:   deltaSat / p.Runs,
+			}
+			if e.DeltaMillis > 0 {
+				e.Speedup = e.FullMillis / e.DeltaMillis
+			}
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	return b, nil
+}

@@ -219,6 +219,42 @@ func TestParBenchSmoke(t *testing.T) {
 		t.Errorf("warm re-solve allocates %.1f allocs/solve; workspace reuse broken",
 			b.LPMicro.WarmAllocsPerSolve)
 	}
+	if b.Delta == nil {
+		t.Fatal("delta section missing")
+	}
+}
+
+// TestDeltaBenchSmoke checks the incremental-reconfiguration section on a
+// reduced workload: both topologies and both event kinds measured, the
+// sub-model strictly smaller than the policy set, and the delta solve
+// faster than the full one it replaces.
+func TestDeltaBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db, err := RunDeltaBench(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Entries) != 4 {
+		t.Fatalf("entries = %d, want Ans/Cwix x move/linkfail", len(db.Entries))
+	}
+	for _, e := range db.Entries {
+		if e.FullMillis <= 0 || e.DeltaMillis <= 0 {
+			t.Errorf("%s/%s: timings unset: %+v", e.Topology, e.Event, e)
+		}
+		if e.AffectedPolicies <= 0 || e.AffectedPolicies >= float64(e.Policies) {
+			t.Errorf("%s/%s: affected %.1f not a strict subset of %d policies",
+				e.Topology, e.Event, e.AffectedPolicies, e.Policies)
+		}
+		if e.Speedup <= 1 {
+			t.Errorf("%s/%s: delta solve (%.1fms) not faster than full (%.1fms)",
+				e.Topology, e.Event, e.DeltaMillis, e.FullMillis)
+		}
+		if e.FullSatisfied <= 0 || e.DeltaSatisfied <= 0 {
+			t.Errorf("%s/%s: satisfaction counts unset: %+v", e.Topology, e.Event, e)
+		}
+	}
 }
 
 // TestFastpathBenchSmoke checks the flow-arrival section end-to-end on a

@@ -52,6 +52,9 @@ type Bench struct {
 	// absent in baselines recorded before it existed — cmd/benchdiff
 	// phase-gates it like lp_micro.
 	Fastpath *FastpathBench `json:"fastpath,omitempty"`
+	// Delta is the incremental-reconfiguration section (deltabench.go),
+	// phase-gated the same way.
+	Delta *DeltaBench `json:"delta,omitempty"`
 }
 
 // benchMeasure solves the fig11-shaped workload once and reports duration,
@@ -108,6 +111,11 @@ func RunParallelBench(p Params, workers int) (*Bench, error) {
 		return nil, fmt.Errorf("parbench fastpath: %w", err)
 	}
 	b.Fastpath = fp
+	db, err := RunDeltaBench(p)
+	if err != nil {
+		return nil, fmt.Errorf("parbench delta: %w", err)
+	}
+	b.Delta = db
 	policies := p.scaled(50)
 	for _, topoName := range []string{"Ans", "Cwix"} {
 		var serialDur, parDur time.Duration
@@ -166,6 +174,12 @@ func (b *Bench) Render() Table {
 			b.Fastpath.Topology, b.Fastpath.Flows, b.Fastpath.InterpretedNanosPerLookup,
 			b.Fastpath.CompiledNanosPerLookup, b.Fastpath.Speedup, b.Fastpath.CompileMicros,
 			b.Fastpath.CompiledAllocsPerLookup)
+	}
+	if b.Delta != nil {
+		for _, e := range b.Delta.Entries {
+			title += fmt.Sprintf("\nDelta (%s, %s): full %.1fms, delta %.1fms (%.1fx), %.1f affected of %d",
+				e.Topology, e.Event, e.FullMillis, e.DeltaMillis, e.Speedup, e.AffectedPolicies, e.Policies)
+		}
 	}
 	t := Table{
 		Title:  title,

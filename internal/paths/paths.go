@@ -75,7 +75,15 @@ type Enumerator struct {
 	// MaxHops bounds path length; 0 means DefaultMaxHops.
 	MaxHops int
 
-	cache map[string][]Path
+	// cache maps "src|dst|chain" to the sorted enumeration. linkIndex maps
+	// a normalized undirected link to the cache keys whose entries contain
+	// a path over it, so a link removal invalidates only the enumerations
+	// it can change (InvalidateLink). linkIndex entries may go stale after
+	// re-enumeration — a key registered under a link the fresh enumeration
+	// no longer crosses — which only makes invalidation conservative,
+	// never unsound.
+	cache     map[string][]Path
+	linkIndex map[[2]topo.NodeID]map[string]bool
 }
 
 // Enumeration caps: path counts grow exponentially with network size
@@ -87,7 +95,11 @@ const (
 
 // NewEnumerator returns an Enumerator over the topology.
 func NewEnumerator(t *topo.Topology) *Enumerator {
-	return &Enumerator{topo: t, cache: make(map[string][]Path)}
+	return &Enumerator{
+		topo:      t,
+		cache:     make(map[string][]Path),
+		linkIndex: make(map[[2]topo.NodeID]map[string]bool),
+	}
 }
 
 // Valid returns all valid paths (up to the enumeration caps) from switch
@@ -168,7 +180,32 @@ func (e *Enumerator) Valid(src, dst topo.NodeID, chain policy.Chain) ([]Path, er
 		return out[i].Key() < out[j].Key()
 	})
 	e.cache[key] = out
+	e.indexLinks(key, out)
 	return out, nil
+}
+
+// indexLinks registers the links crossed by a cached enumeration so
+// InvalidateLink can find the entries a link removal makes stale.
+func (e *Enumerator) indexLinks(key string, ps []Path) {
+	for _, p := range ps {
+		for _, l := range p.Links() {
+			k := normLink(l[0], l[1])
+			m := e.linkIndex[k]
+			if m == nil {
+				m = make(map[string]bool)
+				e.linkIndex[k] = m
+			}
+			m[key] = true
+		}
+	}
+}
+
+// normLink normalizes an undirected link to a map key.
+func normLink(a, b topo.NodeID) [2]topo.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topo.NodeID{a, b}
 }
 
 // Candidates returns up to k valid paths for the policy's (src,dst,chain).
@@ -239,7 +276,25 @@ func (e *Enumerator) ShortestFirst(src, dst topo.NodeID, chain policy.Chain, k, 
 }
 
 // InvalidateCache drops all cached enumerations; call after topology
-// changes.
+// changes that can create new paths (link additions): a new link can
+// shorten or add paths for any pair, so no cached entry is trustworthy.
 func (e *Enumerator) InvalidateCache() {
 	e.cache = make(map[string][]Path)
+	e.linkIndex = make(map[[2]topo.NodeID]map[string]bool)
+}
+
+// InvalidateLink drops only the cached enumerations made stale by
+// removing link (a, b). This is exact, not heuristic: an entry is the
+// first MaxPaths paths of the deterministic DFS (then sorted), and
+// removing a link only deletes paths from that DFS sequence. An entry
+// none of whose cached paths cross the removed link therefore has no
+// crossing path anywhere in its first-MaxPaths prefix, so the prefix —
+// and the cached entry — is unchanged by the removal. Only use for link
+// removals; additions must use InvalidateCache.
+func (e *Enumerator) InvalidateLink(a, b topo.NodeID) {
+	k := normLink(a, b)
+	for key := range e.linkIndex[k] {
+		delete(e.cache, key)
+	}
+	delete(e.linkIndex, k)
 }

@@ -18,6 +18,12 @@ import (
 // (Clients→DB, FW by day / byte-counter by night), so the soak exercises
 // mobility, temporal, and stateful dynamics at once.
 func chaosSetup(t *testing.T) (*core.Configurator, map[string]topo.NodeID) {
+	return chaosSetupCfg(t, core.Config{})
+}
+
+// chaosSetupCfg is chaosSetup with an explicit solver config (the delta
+// differential harness builds delta-on and delta-off twins of the fabric).
+func chaosSetupCfg(t *testing.T, cfg core.Config) (*core.Configurator, map[string]topo.NodeID) {
 	t.Helper()
 	tp := topo.NewTopology("chaos")
 	sw := map[string]topo.NodeID{}
@@ -76,7 +82,7 @@ func chaosSetup(t *testing.T) (*core.Configurator, map[string]topo.NodeID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conf, err := core.New(tp, cg, core.Config{})
+	conf, err := core.New(tp, cg, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

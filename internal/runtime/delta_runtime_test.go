@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"janus/internal/core"
+	"janus/internal/dataplane"
+	"janus/internal/policy"
+	"janus/internal/store"
+	"janus/internal/topo"
+)
+
+// deltaRT builds a runtime on the chaos fabric with the given solver
+// config and returns it with the switch map and the two policy IDs.
+func deltaRT(t *testing.T, cfg core.Config) (*Runtime, map[string]topo.NodeID, int, int) {
+	t.Helper()
+	conf, sw := chaosSetupCfg(t, cfg)
+	rt, err := New(context.Background(), conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetRetryPolicy(noSleepPolicy())
+	web, ok := rt.graph.Lookup("Clients", "Web")
+	if !ok {
+		t.Fatal("web policy not found")
+	}
+	db, ok := rt.graph.Lookup("Clients", "DB")
+	if !ok {
+		t.Fatal("db policy not found")
+	}
+	return rt, sw, web.ID, db.ID
+}
+
+// islandE1 empties switch e1 of endpoints and then fails both of its
+// links, leaving it a connected-to-nothing island.
+func islandE1(t *testing.T, rt *Runtime, sw map[string]topo.NodeID) {
+	t.Helper()
+	ctx := context.Background()
+	for _, c := range []string{"c1", "c2"} {
+		if err := rt.MoveEndpoint(ctx, c, sw["agg"]); err != nil {
+			t.Fatalf("moving %s off e1: %v", c, err)
+		}
+	}
+	if err := rt.FailLink(ctx, sw["e1"], sw["agg"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.FailLink(ctx, sw["e1"], sw["core1"]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaMoveOntoIsland moves an endpoint onto a switch whose links have
+// all failed: the delta sub-model must conclude the policy is unsatisfiable
+// there and still produce a clean merged install (unconfigured pairs
+// blackhole; the satisfied drop of one stays within the default bound).
+func TestDeltaMoveOntoIsland(t *testing.T) {
+	rt, sw, webID, _ := deltaRT(t, core.Config{})
+	islandE1(t, rt, sw)
+	before := rt.Metrics()
+	if err := rt.MoveEndpoint(context.Background(), "web", sw["e1"]); err != nil {
+		t.Fatalf("move onto island should degrade, not fail: %v", err)
+	}
+	m := rt.Metrics()
+	if m.DeltaSolves != before.DeltaSolves+1 {
+		t.Errorf("DeltaSolves = %d, want %d (island move served incrementally)", m.DeltaSolves, before.DeltaSolves+1)
+	}
+	if rt.Current().Delta == nil {
+		t.Error("current result should carry DeltaStats")
+	}
+	if rt.Current().Configured[webID] {
+		t.Error("web policy cannot be satisfiable with its server on an island")
+	}
+	if vs := rt.Audit(); len(vs) != 0 {
+		t.Errorf("audit after island move: %v", vs)
+	}
+}
+
+// TestDeltaGuardFallsBackToFull tightens the optimality guard to zero
+// allowed drop: the same island move must discard the delta result and
+// converge through the full re-solve instead.
+func TestDeltaGuardFallsBackToFull(t *testing.T) {
+	rt, sw, webID, _ := deltaRT(t, core.Config{DeltaMaxSatisfiedDrop: -1})
+	islandE1(t, rt, sw)
+	before := rt.Metrics()
+	if err := rt.MoveEndpoint(context.Background(), "web", sw["e1"]); err != nil {
+		t.Fatalf("move onto island should degrade, not fail: %v", err)
+	}
+	m := rt.Metrics()
+	if m.DeltaFallbacks != before.DeltaFallbacks+1 {
+		t.Errorf("DeltaFallbacks = %d, want %d (guard must trip)", m.DeltaFallbacks, before.DeltaFallbacks+1)
+	}
+	if m.DeltaSolves != before.DeltaSolves {
+		t.Errorf("DeltaSolves moved %d -> %d on a guard-tripped event", before.DeltaSolves, m.DeltaSolves)
+	}
+	if rt.Current().Delta != nil {
+		t.Error("full-solve result must not carry DeltaStats")
+	}
+	if rt.Current().Configured[webID] {
+		t.Error("web policy cannot be satisfiable with its server on an island")
+	}
+}
+
+// TestDeltaFreezesEscalatedPolicy escalates the stateful web policy, then
+// serves an unrelated event incrementally: the frozen web assignments must
+// keep the promoted H-IDS chain hard (the PR 3 bug class — an install that
+// silently demotes a counter-escalated chain).
+func TestDeltaFreezesEscalatedPolicy(t *testing.T) {
+	rt, sw, webID, _ := deltaRT(t, core.Config{})
+	ctx := context.Background()
+	if err := rt.ReportEvent(ctx, "c1", "web", policy.FailedConnections, 5); err != nil {
+		t.Fatalf("escalating: %v", err)
+	}
+	before := rt.Metrics()
+	if err := rt.MoveEndpoint(ctx, "db", sw["core2"]); err != nil {
+		t.Fatalf("moving db: %v", err)
+	}
+	m := rt.Metrics()
+	if m.DeltaSolves != before.DeltaSolves+1 {
+		t.Errorf("DeltaSolves = %d, want %d (db move should freeze the web policy)", m.DeltaSolves, before.DeltaSolves+1)
+	}
+	res := rt.Current()
+	if res.Delta == nil {
+		t.Fatal("current result should carry DeltaStats")
+	}
+	escalated := false
+	for _, a := range res.Assignments {
+		if a.Policy == webID && a.Src == "c1" && a.Dst == "web" && a.EdgeIdx == 1 && a.Role == core.HardEdge {
+			escalated = true
+		}
+	}
+	if !escalated {
+		t.Error("frozen web policy lost its promoted escalation-edge assignment")
+	}
+	if vs := rt.Audit(); len(vs) != 0 {
+		t.Errorf("audit after freezing escalated policy: %v", vs)
+	}
+}
+
+// TestDeltaAfterQuarantine quarantines a switch via retry exhaustion, then
+// checks the rebuilt dependency index no longer references it and that the
+// runtime still serves later events incrementally.
+func TestDeltaAfterQuarantine(t *testing.T) {
+	rt, sw, _, _ := deltaRT(t, core.Config{})
+	ctx := context.Background()
+	// Drain hard-path rules off core2 (web flows terminate there; db flows
+	// never cross it). The escalation reservation's soft path may still
+	// traverse core2, so the quarantine below cascades: the degraded
+	// re-solve cannot delete those rules either and the event hard-fails.
+	if err := rt.MoveEndpoint(ctx, "web", sw["agg"]); err != nil {
+		t.Fatal(err)
+	}
+	rt.Network().InjectFaults(dataplane.FaultPlan{
+		Seed:     7,
+		Switches: map[topo.NodeID]dataplane.SwitchFaults{sw["core2"]: {FailRate: 1}},
+	})
+	// Moving c1 onto core2 forces ingress rules there (sources get ingress
+	// rules; destinations deliver without one), which fail until the
+	// runtime quarantines core2. The cascade then hard-fails the event:
+	// the degraded re-solve cannot delete the stale soft-path rules parked
+	// on the dead switch either. c1 stays stranded on the island.
+	if err := rt.MoveEndpoint(ctx, "c1", sw["core2"]); err == nil {
+		t.Fatal("move onto the all-failing switch should hard-fail through the quarantine cascade")
+	}
+	if got := rt.Metrics().QuarantinedSwitches; got != 1 {
+		t.Fatalf("QuarantinedSwitches = %d, want 1", got)
+	}
+	// The install never landed, so the index still describes the live
+	// (pre-event) result and the next event must be served against it.
+	if rt.depIndex == nil {
+		t.Fatal("dep index missing after the quarantine cascade")
+	}
+	rt.Network().InjectFaults(dataplane.FaultPlan{})
+	// The first event after the cascade widens to both policies (their
+	// frozen paths no longer start at c1's attach switch), trips the
+	// affected-share gate, and reconciles through a full solve.
+	before := rt.Metrics()
+	if err := rt.MoveEndpoint(ctx, "web", sw["e2"]); err != nil {
+		t.Fatalf("post-quarantine settling move: %v", err)
+	}
+	m := rt.Metrics()
+	if m.DeltaFallbacks != before.DeltaFallbacks+1 {
+		t.Errorf("DeltaFallbacks = %d, want %d (stale frozen paths must widen past the share gate)",
+			m.DeltaFallbacks, before.DeltaFallbacks+1)
+	}
+	// Once reconciled, single-policy events are incremental again: the
+	// unconfigured policies carry no assignments, which freeze trivially.
+	before = rt.Metrics()
+	if err := rt.MoveEndpoint(ctx, "web", sw["agg"]); err != nil {
+		t.Fatalf("post-quarantine move: %v", err)
+	}
+	if m := rt.Metrics(); m.DeltaSolves != before.DeltaSolves+1 {
+		t.Errorf("DeltaSolves = %d, want %d after quarantine settled", m.DeltaSolves, before.DeltaSolves+1)
+	}
+	if vs := rt.Audit(); len(vs) != 0 {
+		t.Errorf("audit after post-quarantine delta: %v", vs)
+	}
+	// The rebuilt index routes nothing over the quarantined island: its
+	// links are gone, so no current assignment can traverse it.
+	out := map[int]bool{}
+	rt.depIndex.AffectedByNode(sw["core2"], out)
+	if len(out) != 0 {
+		t.Errorf("rebuilt index still maps policies onto the quarantined switch: %v", out)
+	}
+}
+
+// TestUpdateGraphInvalidatesDepIndex swaps the composed graph and checks
+// the dependency index is dropped immediately — even when the swap's own
+// reconfiguration fails — so a later event can never consult an index
+// speaking the old graph's policy IDs.
+func TestUpdateGraphInvalidatesDepIndex(t *testing.T) {
+	rt, sw, _, _ := deltaRT(t, core.Config{})
+	if rt.depIndex == nil {
+		t.Fatal("dep index missing after initial configure")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.UpdateGraph(cancelled, rt.graph, core.Config{}); err == nil {
+		t.Fatal("UpdateGraph with a cancelled context should fail")
+	}
+	if rt.depIndex != nil {
+		t.Fatal("failed graph swap left a stale dep index behind")
+	}
+	// The next event cannot be served incrementally (no index), must
+	// full-solve cleanly, and rebuilds the index for the one after.
+	ctx := context.Background()
+	before := rt.Metrics()
+	if err := rt.MoveEndpoint(ctx, "web", sw["e2"]); err != nil {
+		t.Fatalf("move after failed graph swap: %v", err)
+	}
+	m := rt.Metrics()
+	if m.DeltaSolves != before.DeltaSolves || m.DeltaFallbacks != before.DeltaFallbacks {
+		t.Errorf("event without an index recorded delta activity: solves %d->%d fallbacks %d->%d",
+			before.DeltaSolves, m.DeltaSolves, before.DeltaFallbacks, m.DeltaFallbacks)
+	}
+	if rt.depIndex == nil {
+		t.Fatal("successful install did not rebuild the dep index")
+	}
+	before = rt.Metrics()
+	if err := rt.MoveEndpoint(ctx, "web", sw["core2"]); err != nil {
+		t.Fatal(err)
+	}
+	if m := rt.Metrics(); m.DeltaSolves != before.DeltaSolves+1 {
+		t.Errorf("DeltaSolves = %d, want %d once the index is rebuilt", m.DeltaSolves, before.DeltaSolves+1)
+	}
+}
+
+// TestRestoreRebuildsDepIndex recovers a journaled runtime and checks the
+// restored instance rebuilds its dependency index from recovered state and
+// serves events incrementally right away.
+func TestRestoreRebuildsDepIndex(t *testing.T) {
+	conf, sw := chaosSetupCfg(t, core.Config{})
+	fs := store.NewCrashFS(5)
+	st, err := store.Open(fs, "data", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewDurable(context.Background(), conf, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetRetryPolicy(noSleepPolicy())
+	ctx := context.Background()
+	if err := rt.MoveEndpoint(ctx, "web", sw["e2"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(fs, "data", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rt2, err := Restore(st2.RecoveredState(), core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.SetRetryPolicy(noSleepPolicy())
+	if rt2.depIndex == nil {
+		t.Fatal("restored runtime has no dep index")
+	}
+	before := rt2.Metrics()
+	if err := rt2.MoveEndpoint(ctx, "web", sw["core1"]); err != nil {
+		t.Fatalf("post-restore move: %v", err)
+	}
+	if m := rt2.Metrics(); m.DeltaSolves != before.DeltaSolves+1 {
+		t.Errorf("DeltaSolves = %d, want %d on the restored runtime", m.DeltaSolves, before.DeltaSolves+1)
+	}
+	if vs := rt2.Audit(); len(vs) != 0 {
+		t.Errorf("audit after post-restore delta: %v", vs)
+	}
+}

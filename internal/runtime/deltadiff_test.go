@@ -1,0 +1,210 @@
+package runtime
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"janus/internal/core"
+	"janus/internal/dataplane"
+	"janus/internal/policy"
+	"janus/internal/store"
+	"janus/internal/topo"
+)
+
+// The delta differential harness (make deltadiff): the same seeded event
+// sequence is replayed in lockstep against two twin runtimes — delta
+// solving on vs off — asserting after every event that (1) each runtime's
+// self-audit is clean after a successful install, (2) the satisfied-policy
+// counts of the two sides stay within the configured bound whenever their
+// worlds are still comparable (no divergent quarantines or link states),
+// and (3) at the end, both journals recover into byte-identical restored
+// states — the merged delta results must replay exactly like full ones.
+
+// TestDeltaDiffDynamics runs the clean dynamics suite: mobility, temporal
+// boundaries, stateful counters, benign relabels, and one link flap, with
+// no fault injection.
+func TestDeltaDiffDynamics(t *testing.T) {
+	runDeltaDiff(t, deltaDiffOpts{seed: 101, events: 60, bound: 1})
+}
+
+// TestDeltaDiffChaos runs the same differential under the chaos fault
+// plan (6% op failures plus a scheduled mid-update switch crash), where
+// delta installs must also survive audit rejections and quarantines.
+func TestDeltaDiffChaos(t *testing.T) {
+	runDeltaDiff(t, deltaDiffOpts{seed: 11, events: 48, bound: 2, faults: true})
+}
+
+type deltaDiffOpts struct {
+	seed   int64
+	events int
+	bound  int
+	faults bool
+}
+
+// diffSide is one half of the differential: a journaled runtime plus the
+// state needed to reopen and restore it.
+type diffSide struct {
+	name       string
+	rt         *Runtime
+	st         *store.Store
+	fs         store.FS
+	sw         map[string]topo.NodeID
+	cfg        core.Config
+	flapFailed bool
+}
+
+func newDiffSide(t *testing.T, name string, opts deltaDiffOpts, cfg core.Config) *diffSide {
+	t.Helper()
+	conf, sw := chaosSetupCfg(t, cfg)
+	fs := store.NewCrashFS(opts.seed)
+	st, err := store.Open(fs, "data", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewDurable(context.Background(), conf, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetRetryPolicy(noSleepPolicy())
+	if opts.faults {
+		rt.Network().InjectFaults(dataplane.FaultPlan{
+			Seed:          opts.seed,
+			Default:       dataplane.SwitchFaults{FailRate: 0.06},
+			CrashAfterOps: map[topo.NodeID]int{sw["agg"]: 20},
+		})
+	}
+	return &diffSide{name: name, rt: rt, st: st, fs: fs, sw: sw, cfg: cfg}
+}
+
+// comparable reports whether the two sides still inhabit equivalent
+// worlds: under fault injection their rule-update op streams differ, so
+// quarantines and link flaps can diverge, after which satisfied counts
+// legitimately disagree.
+func comparable(on, off *diffSide) bool {
+	return on.rt.Metrics().QuarantinedSwitches == off.rt.Metrics().QuarantinedSwitches &&
+		on.flapFailed == off.flapFailed
+}
+
+func runDeltaDiff(t *testing.T, opts deltaDiffOpts) {
+	on := newDiffSide(t, "delta-on", opts, core.Config{})
+	off := newDiffSide(t, "delta-off", opts, core.Config{DeltaDisable: true})
+	sides := []*diffSide{on, off}
+	sw := on.sw
+	rng := rand.New(rand.NewSource(opts.seed))
+	switches := []topo.NodeID{sw["e1"], sw["e2"], sw["agg"], sw["core1"], sw["core2"]}
+	clients := []string{"c1", "c2"}
+	targets := []string{"web", "db"}
+	ctx := context.Background()
+
+	for i := 0; i < opts.events; i++ {
+		var apply func(s *diffSide) error
+		kind := ""
+		switch {
+		case i == opts.events/4:
+			kind = "linkfail"
+			apply = func(s *diffSide) error {
+				err := s.rt.FailLink(ctx, s.sw["core1"], s.sw["core2"])
+				s.flapFailed = s.flapFailed || err == nil
+				return err
+			}
+		case i == opts.events/4*3:
+			kind = "linkrestore"
+			apply = func(s *diffSide) error {
+				if !s.flapFailed {
+					return nil
+				}
+				err := s.rt.RestoreLink(ctx, s.sw["core1"], s.sw["core2"])
+				if err == nil {
+					s.flapFailed = false
+				}
+				return err
+			}
+		default:
+			switch roll := rng.Intn(10); {
+			case roll < 3:
+				kind = "move"
+				ep, to := clients[rng.Intn(len(clients))], switches[rng.Intn(len(switches))]
+				apply = func(s *diffSide) error { return s.rt.MoveEndpoint(ctx, ep, to) }
+			case roll < 5:
+				kind = "move-target"
+				ep, to := targets[rng.Intn(len(targets))], switches[rng.Intn(len(switches))]
+				apply = func(s *diffSide) error { return s.rt.MoveEndpoint(ctx, ep, to) }
+			case roll < 7:
+				kind = "hour"
+				h := (on.rt.Hour() + 1 + rng.Intn(5)) % policy.HoursPerDay
+				apply = func(s *diffSide) error { return s.rt.AdvanceTo(ctx, h) }
+			case roll < 9:
+				kind = "counter"
+				src, dst := clients[rng.Intn(len(clients))], targets[rng.Intn(len(targets))]
+				d := 1 + rng.Intn(3)
+				apply = func(s *diffSide) error { return s.rt.ReportEvent(ctx, src, dst, policy.FailedConnections, d) }
+			default:
+				kind = "relabel"
+				ep := clients[rng.Intn(len(clients))]
+				apply = func(s *diffSide) error { return s.rt.RelabelEndpoint(ctx, ep, "Clients") }
+			}
+		}
+		errs := map[string]error{}
+		for _, s := range sides {
+			recBefore := s.rt.Metrics().Reconfigurations
+			errs[s.name] = apply(s)
+			// Every successful install must leave a clean audit. A successful
+			// event that installed nothing (an AdvanceTo crossing no boundary)
+			// is exempt: it cannot repair a world left inconsistent by an
+			// earlier hard-failed event (e.g. a move whose every solve flunked
+			// the self-audit — the endpoint stays moved, the rules roll back).
+			if errs[s.name] == nil && s.rt.Metrics().Reconfigurations > recBefore {
+				if vs := s.rt.Audit(); len(vs) != 0 {
+					t.Fatalf("event %d (%s) on %s: audit violations after install: %v", i, kind, s.name, vs)
+				}
+			}
+		}
+		if errs[on.name] == nil && errs[off.name] == nil && comparable(on, off) {
+			satOn := on.rt.Current().SatisfiedCount()
+			satOff := off.rt.Current().SatisfiedCount()
+			if d := satOn - satOff; d < -opts.bound || d > opts.bound {
+				t.Fatalf("event %d (%s): satisfied diverged beyond bound %d: delta-on=%d delta-off=%d",
+					i, kind, opts.bound, satOn, satOff)
+			}
+		}
+	}
+
+	mOn, mOff := on.rt.Metrics(), off.rt.Metrics()
+	if mOn.DeltaSolves == 0 {
+		t.Error("delta-on runtime never served an event incrementally")
+	}
+	if mOff.DeltaSolves != 0 || mOff.DeltaFallbacks != 0 {
+		t.Errorf("delta-off runtime recorded delta activity: solves=%d fallbacks=%d",
+			mOff.DeltaSolves, mOff.DeltaFallbacks)
+	}
+	t.Logf("deltadiff: delta-on served %d incremental / %d fallback; affected total %d",
+		mOn.DeltaSolves, mOn.DeltaFallbacks, mOn.DeltaAffectedPolicies)
+
+	// Journal replayability: each side's journal must recover into a
+	// runtime whose serialized state is byte-identical to the live one.
+	for _, s := range sides {
+		want := marshalState(t, s.rt.State())
+		if err := s.st.Close(); err != nil {
+			t.Fatalf("%s: closing store: %v", s.name, err)
+		}
+		st2, err := store.Open(s.fs, "data", store.Options{})
+		if err != nil {
+			t.Fatalf("%s: reopening store: %v", s.name, err)
+		}
+		defer st2.Close()
+		if got := marshalState(t, st2.RecoveredState()); got != want {
+			t.Fatalf("%s: recovered state diverges from live state\ngot:  %s\nwant: %s", s.name, got, want)
+		}
+		rt2, err := Restore(st2.RecoveredState(), s.cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", s.name, err)
+		}
+		if vs := rt2.Audit(); len(vs) != 0 {
+			t.Fatalf("%s: restored runtime fails audit: %v", s.name, vs)
+		}
+		if got := marshalState(t, rt2.State()); got != want {
+			t.Fatalf("%s: restored runtime re-serializes differently\ngot:  %s\nwant: %s", s.name, got, want)
+		}
+	}
+}

@@ -103,6 +103,10 @@ func Restore(state *store.State, cfg core.Config, j Journal) (*Runtime, error) {
 	}
 	r.net.Recompile()
 	r.current = state.Result
+	// The dependency index and the (fresh Configurator's empty) path cache
+	// are rebuilt from recovered state, never carried across the crash: a
+	// stale index would compute affected sets against the wrong topology.
+	r.depIndex = core.BuildDepIndex(r.topo, r.graph, state.Result)
 	r.journal = j
 	return r, nil
 }

@@ -48,6 +48,16 @@ type Metrics struct {
 	// QuarantinedSwitches counts switches taken out of service after
 	// exhausting the retry budget.
 	QuarantinedSwitches int
+	// DeltaSolves counts reconfigurations served by an incremental (delta)
+	// solve over only the affected policies; DeltaFallbacks counts events
+	// where the delta path was attempted but a full re-solve ran instead
+	// (optimality guard, degraded sub-model, audit rejection, oversized
+	// affected set).
+	DeltaSolves    int
+	DeltaFallbacks int
+	// DeltaAffectedPolicies sums affected-set sizes across delta solves
+	// (divide by DeltaSolves for the mean sub-model size).
+	DeltaAffectedPolicies int
 	// TierHistory records, per reconfiguration, the degradation tier the
 	// configuration was served at (core.DegradationTier strings).
 	TierHistory []string
@@ -87,6 +97,10 @@ type Runtime struct {
 	current  *core.Result
 	counters map[string]map[policy.Event]int // per-flow event counters
 	metrics  Metrics
+	// depIndex maps topology elements to dependent policies for the
+	// current result; rebuilt at every install settle point and nil while
+	// no sound index exists (then events re-solve fully).
+	depIndex *core.DepIndex
 
 	retry RetryPolicy
 	// journal, when non-nil, receives one durable record per public
@@ -223,8 +237,10 @@ func (r *Runtime) install(ctx context.Context, res *core.Result, hour int) error
 	r.current = res
 	// Settle point: publish the compiled fast path for the newly installed
 	// configuration (atomic swap; in-flight lookups finish on the previous
-	// generation).
+	// generation), and rebuild the dependency index the next event's
+	// affected-set computation will consult.
 	r.net.Recompile()
+	r.depIndex = core.BuildDepIndex(r.topo, r.graph, res)
 	return nil
 }
 
@@ -266,6 +282,13 @@ func (r *Runtime) quarantine(ctx context.Context, sw topo.NodeID, cause error) e
 
 	r.quarantined[sw] = true
 	r.metrics.QuarantinedSwitches++
+	// Every assignment through the switch crosses one of its links, so the
+	// node set covers everything the link removals below can touch.
+	var affected map[int]bool
+	if r.deltaUsable() {
+		affected = map[int]bool{}
+		r.depIndex.AffectedByNode(sw, affected)
+	}
 	for _, nb := range r.topo.Neighbors(sw) {
 		capacity, ok := r.topo.LinkCapacity(sw, nb)
 		if !ok {
@@ -276,9 +299,9 @@ func (r *Runtime) quarantine(ctx context.Context, sw topo.NodeID, cause error) e
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoRemoveLink, A: sw, B: nb})
 		r.failedLinks[linkKey(sw, nb)] = capacity
+		r.conf.InvalidateLinkPaths(sw, nb)
 	}
-	r.conf.InvalidatePaths()
-	if err := r.reconfigure(ctx); err != nil {
+	if err := r.reconfigureEvent(ctx, r.current.Period, r.hour, affected); err != nil {
 		return fmt.Errorf("runtime: degraded reconfiguration after quarantining switch %d: %w", sw, err)
 	}
 	return nil
@@ -308,18 +331,26 @@ func (r *Runtime) MoveEndpoint(ctx context.Context, name string, to topo.NodeID)
 			return fmt.Errorf("runtime: %w", err)
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoMove, Endpoint: name, Node: to})
-		return r.reconfigure(ctx)
+		// A move changes attach points, not membership: the index's
+		// endpoint→policy mapping is still current.
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, r.affectedByEndpoint(name))
 	})
 }
 
 // RelabelEndpoint changes an endpoint's group membership and reconfigures.
 func (r *Runtime) RelabelEndpoint(ctx context.Context, name string, labels ...string) error {
 	return r.journalOp(store.KindReconfigure, func(rec *store.Record) error {
+		// Membership before and after both matter: policies losing the
+		// endpoint must drop its pairs, policies gaining it need paths.
+		affected := r.affectedByEndpoint(name)
 		if err := r.topo.RelabelEndpoint(name, labels...); err != nil {
 			return fmt.Errorf("runtime: %w", err)
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoRelabel, Endpoint: name, Labels: labels})
-		return r.reconfigure(ctx)
+		if affected != nil {
+			r.matchingPolicies(name, affected)
+		}
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, affected)
 	})
 }
 
@@ -330,16 +361,104 @@ func (r *Runtime) AddEndpoint(ctx context.Context, name string, at topo.NodeID, 
 			return fmt.Errorf("runtime: %w", err)
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoAddEndpoint, Endpoint: name, Node: at, Labels: labels})
-		return r.reconfigure(ctx)
+		var affected map[int]bool
+		if r.deltaUsable() {
+			affected = map[int]bool{}
+			r.matchingPolicies(name, affected)
+		}
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, affected)
 	})
 }
 
 func (r *Runtime) reconfigure(ctx context.Context) error {
-	res, err := r.conf.ReconfigureContext(ctx, r.current)
+	return r.reconfigureEvent(ctx, r.current.Period, r.hour, nil)
+}
+
+// reconfigureEvent re-solves after an event and installs the result. When
+// affected is non-nil and delta solving is usable, only the affected
+// policies are re-solved against residual capacities; any delta refusal
+// (optimality guard, degraded sub-model, oversized affected share) or a
+// rejected install (audit, apply failure) falls back to the full
+// re-solve. A nil affected set always solves fully.
+func (r *Runtime) reconfigureEvent(ctx context.Context, period, hour int, affected map[int]bool) error {
+	if affected != nil && r.deltaUsable() {
+		res, err := r.conf.DeltaReconfigureContext(ctx, r.current, core.DeltaRequest{Period: period, Affected: affected})
+		switch {
+		case err == nil:
+			qBefore := r.metrics.QuarantinedSwitches
+			ierr := r.install(ctx, r.escalate(res, hour), hour)
+			if ierr == nil {
+				if r.metrics.QuarantinedSwitches == qBefore {
+					r.metrics.DeltaSolves++
+					r.metrics.DeltaAffectedPolicies += res.Delta.Affected
+				} else {
+					// The merged result never landed: its apply failed and
+					// the quarantine path re-solved fully on its own.
+					r.metrics.DeltaFallbacks++
+				}
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ierr
+			}
+			// The audit or the dataplane rejected the merged result; the
+			// full solve below gets its global view.
+			r.metrics.DeltaFallbacks++
+		case errors.Is(err, core.ErrDeltaFallback):
+			r.metrics.DeltaFallbacks++
+		default:
+			return fmt.Errorf("runtime: delta reconfiguring: %w", err)
+		}
+	}
+	res, err := r.conf.ReconfigureAtContext(ctx, r.current, period)
 	if err != nil {
 		return fmt.Errorf("runtime: reconfiguring: %w", err)
 	}
-	return r.install(ctx, r.escalate(res, r.hour), r.hour)
+	return r.install(ctx, r.escalate(res, hour), hour)
+}
+
+// deltaUsable reports whether incremental reconfiguration can run: it is
+// enabled, and a current result with a matching dependency index exists.
+func (r *Runtime) deltaUsable() bool {
+	return r.current != nil && r.depIndex != nil && r.conf.DeltaEnabled()
+}
+
+// affectedByEndpoint is the policy set an endpoint event touches (nil when
+// delta is unusable, which makes reconfigureEvent solve fully).
+func (r *Runtime) affectedByEndpoint(name string) map[int]bool {
+	if !r.deltaUsable() {
+		return nil
+	}
+	out := map[int]bool{}
+	r.depIndex.AffectedByEndpoint(name, out)
+	return out
+}
+
+// affectedByLink is the policy set whose installed assignments cross the
+// link (nil when delta is unusable).
+func (r *Runtime) affectedByLink(a, b topo.NodeID) map[int]bool {
+	if !r.deltaUsable() {
+		return nil
+	}
+	out := map[int]bool{}
+	r.depIndex.AffectedByLink(a, b, out)
+	return out
+}
+
+// matchingPolicies adds to out every policy whose source or destination
+// EPG the endpoint currently matches (post-mutation membership; the
+// dependency index only knows pre-mutation membership).
+func (r *Runtime) matchingPolicies(name string, out map[int]bool) {
+	ep, ok := r.topo.EndpointByName(name)
+	if !ok {
+		return
+	}
+	ls := labelSet(ep.Labels)
+	for _, p := range r.graph.Policies {
+		if covers(ls, p.Src) || covers(ls, p.Dst) {
+			out[p.ID] = true
+		}
+	}
 }
 
 // escalate re-promotes reserved escalation paths for flows whose event
@@ -407,13 +526,16 @@ func (r *Runtime) FailLink(ctx context.Context, a, b topo.NodeID) error {
 		if !ok {
 			return fmt.Errorf("runtime: no link %d-%d", a, b)
 		}
+		affected := r.affectedByLink(a, b)
 		if err := r.topo.RemoveLink(a, b); err != nil {
 			return fmt.Errorf("runtime: %w", err)
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoRemoveLink, A: a, B: b})
 		r.failedLinks[linkKey(a, b)] = capacity
-		r.conf.InvalidatePaths()
-		return r.reconfigure(ctx)
+		// A removal can only delete paths: drop exactly the cached
+		// enumerations that crossed the link.
+		r.conf.InvalidateLinkPaths(a, b)
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, affected)
 	})
 }
 
@@ -431,8 +553,19 @@ func (r *Runtime) RestoreLink(ctx context.Context, a, b topo.NodeID) error {
 		}
 		r.noteTopoOp(store.TopoOp{Op: store.TopoAddLink, A: a, B: b, Capacity: capacity})
 		delete(r.failedLinks, linkKey(a, b))
+		// An addition can create paths for any pair: the whole cache goes.
 		r.conf.InvalidatePaths()
-		return r.reconfigure(ctx)
+		// Restored capacity helps exactly the policies that lost out:
+		// unsatisfied ones and those whose soft reservation was given up.
+		// Satisfied policies stay frozen — keeping them off the restored
+		// link is the path-stability tradeoff §5.4 argues for.
+		var affected map[int]bool
+		if r.deltaUsable() {
+			affected = map[int]bool{}
+			r.depIndex.AffectedUnsatisfied(affected)
+			r.depIndex.AffectedSlackUsed(affected)
+		}
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, affected)
 	})
 }
 
@@ -450,12 +583,17 @@ func (r *Runtime) AdvanceTo(ctx context.Context, h int) error {
 		for cur != h {
 			cur = (cur + 1) % policy.HoursPerDay
 			if containsInt(periods, cur) {
-				res, err := r.conf.ReconfigureAtContext(ctx, r.current, cur)
-				if err != nil {
-					return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
+				// The boundary affects policies whose edge sets change
+				// across it, plus the unsatisfied/unreserved ones that may
+				// fit into whatever the closing windows free up.
+				var affected map[int]bool
+				if r.deltaUsable() {
+					affected = r.conf.TemporalAffected(r.current.Period, cur)
+					r.depIndex.AffectedUnsatisfied(affected)
+					r.depIndex.AffectedSlackUsed(affected)
 				}
-				if err := r.install(ctx, r.escalate(res, cur), cur); err != nil {
-					return err
+				if err := r.reconfigureEvent(ctx, cur, cur, affected); err != nil {
+					return fmt.Errorf("runtime: period transition at %dh: %w", cur, err)
 				}
 				r.hour = cur
 			}
@@ -514,8 +652,13 @@ func (r *Runtime) ReportEvent(ctx context.Context, src, dst string, ev policy.Ev
 				return r.install(ctx, &promoted, r.hour)
 			}
 		}
-		// No reservation (ξ was 1): a full reconfiguration is needed.
-		return r.reconfigure(ctx)
+		// No reservation (ξ was 1): a re-solve is needed — scoped to the
+		// escalating policy when delta is usable.
+		var affected map[int]bool
+		if r.deltaUsable() {
+			affected = map[int]bool{pid: true}
+		}
+		return r.reconfigureEvent(ctx, r.current.Period, r.hour, affected)
 	})
 }
 
@@ -549,6 +692,11 @@ func (r *Runtime) UpdateGraph(ctx context.Context, g *compose.Graph, cfg core.Co
 		r.conf = conf
 		r.graph = g
 		r.adapter = dataplane.NewGraphAdapter(g)
+		// The old dependency index speaks the old graph's policy IDs; drop
+		// it NOW, not at install, so a failed reconfiguration cannot leave
+		// a stale index feeding wrong affected sets to later events. The
+		// fresh Configurator likewise starts with an empty path cache.
+		r.depIndex = nil
 		// A graph swap re-journals the full topology and composed graph so
 		// replay never depends on records older than the swap.
 		rec.Topo = r.topo
